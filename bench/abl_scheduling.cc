@@ -1,0 +1,111 @@
+// Ablation: Compute Engine scheduling policies (paper Section 5 open
+// challenges; iPipe-style FCFS vs DRR, plus DPDPU's model-based
+// scheduled execution).
+//
+// Workload: two tenants share the compression ASIC — tenant 0 floods
+// large jobs, tenant 1 issues sparse small jobs (the low-variance /
+// high-variance mix iPipe's schedulers target). We report per-tenant p99
+// latency under FCFS vs DRR admission, and total makespan for scheduled
+// (model-based) vs ASIC-only placement under overload.
+
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "core/compute/compute_engine.h"
+#include "hw/machine.h"
+#include "kern/textgen.h"
+
+using namespace dpdpu;  // NOLINT: bench brevity
+
+namespace {
+
+struct TenancyResult {
+  double big_p99_ms;
+  double small_p99_ms;
+};
+
+TenancyResult RunTenancy(ce::AdmissionQueue::Discipline discipline) {
+  sim::Simulator sim;
+  hw::Server server(&sim, hw::DefaultServerSpec());
+  ce::ComputeEngineOptions options;
+  options.asic_admission = discipline;
+  ce::ComputeEngine engine(&server, ce::KernelRegistry::Builtin(), options);
+
+  Buffer big = kern::GenerateText(2 << 20, {1});
+  Buffer small = kern::GenerateText(32 << 10, {2});
+  Histogram big_lat, small_lat;
+  // Interleaved open-loop arrivals.
+  for (int i = 0; i < 40; ++i) {
+    sim.ScheduleAt(sim::SimTime(i) * 50 * sim::kMicrosecond, [&, i] {
+      auto item = engine.Invoke(ce::kKernelCompress, big, {},
+                                {ce::ExecTarget::kDpuAsic, 0});
+      if (item.ok()) {
+        (*item)->OnComplete(
+            [&big_lat](ce::WorkItem& w) { big_lat.Add(w.latency()); });
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    sim.ScheduleAt(sim::SimTime(i) * 100 * sim::kMicrosecond, [&] {
+      auto item = engine.Invoke(ce::kKernelCompress, small, {},
+                                {ce::ExecTarget::kDpuAsic, 1});
+      if (item.ok()) {
+        (*item)->OnComplete(
+            [&small_lat](ce::WorkItem& w) { small_lat.Add(w.latency()); });
+      }
+    });
+  }
+  sim.Run();
+  return TenancyResult{double(big_lat.P99()) / 1e6,
+                       double(small_lat.P99()) / 1e6};
+}
+
+double RunPlacementMakespan(ce::PlacementPolicy policy, int jobs) {
+  sim::Simulator sim;
+  hw::Server server(&sim, hw::DefaultServerSpec());
+  ce::ComputeEngineOptions options;
+  options.policy = policy;
+  ce::ComputeEngine engine(&server, ce::KernelRegistry::Builtin(), options);
+  Buffer payload = kern::GenerateText(1 << 20, {3});
+  for (int i = 0; i < jobs; ++i) {
+    (void)engine.Invoke(ce::kKernelCompress, payload);  // kAuto
+  }
+  sim.Run();
+  return double(sim.now()) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: CE scheduling (Section 5) ===\n\n");
+
+  std::printf("-- multi-tenant ASIC admission: FCFS vs DRR --\n");
+  std::printf("%8s %14s %14s\n", "policy", "big_p99_ms", "small_p99_ms");
+  TenancyResult fcfs = RunTenancy(ce::AdmissionQueue::Discipline::kFcfs);
+  TenancyResult drr = RunTenancy(ce::AdmissionQueue::Discipline::kDrr);
+  std::printf("%8s %14.2f %14.2f\n", "fcfs", fcfs.big_p99_ms,
+              fcfs.small_p99_ms);
+  std::printf("%8s %14.2f %14.2f\n", "drr", drr.big_p99_ms,
+              drr.small_p99_ms);
+  std::printf("shape: DRR cuts the small tenant's p99 (%.1fx better) at "
+              "modest cost to the flood.\n\n",
+              fcfs.small_p99_ms / drr.small_p99_ms);
+
+  std::printf("-- scheduled execution under overload: makespan of 200x "
+              "1 MB compress jobs --\n");
+  std::printf("%14s %14s\n", "policy", "makespan_ms");
+  double asic_only = RunPlacementMakespan(ce::PlacementPolicy::kAsicFirst,
+                                          200);
+  double model = RunPlacementMakespan(ce::PlacementPolicy::kModelBased,
+                                      200);
+  double cpu_only = RunPlacementMakespan(ce::PlacementPolicy::kDpuCpuOnly,
+                                         200);
+  std::printf("%14s %14.2f\n", "asic_first", asic_only);
+  std::printf("%14s %14.2f\n", "model_based", model);
+  std::printf("%14s %14.2f\n", "dpu_cpu_only", cpu_only);
+  std::printf("shape: model-based placement spills overload to idle "
+              "CPUs and beats both static policies (%.2fx vs asic-only, "
+              "%.1fx vs cpu-only).\n",
+              asic_only / model, cpu_only / model);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 3 reproduction: "CPU consumption of network communication".
+//
+// The paper measures the CPU cost of TCP transfers of 8 KB pages over a
+// 100 Gbps network: significant host CPU, growing with bandwidth, that
+// competes with compute tasks. We sweep offered throughput with 8 KB
+// messages, sender-side kernel TCP (host cores) vs the Network Engine's
+// DPU-offloaded stack (host cost collapses; the DPU pays a smaller,
+// optimized cost).
+
+#include <cstdio>
+
+#include "core/network/network_engine.h"
+#include "core/runtime/metrics.h"
+#include "kern/textgen.h"
+
+using namespace dpdpu;  // NOLINT: bench brevity
+
+namespace {
+
+struct Point {
+  double host_cores;
+  double dpu_cores;
+  double achieved_gbps;
+};
+
+Point RunAtGbps(ne::TcpMode mode, double gbps) {
+  sim::Simulator sim;
+  netsub::Network net(&sim);
+  ne::NetworkEngineOptions options;
+  options.tcp_mode = mode;
+  auto a_server = std::make_unique<hw::Server>(&sim,
+                                               hw::DefaultServerSpec("a"));
+  auto b_server = std::make_unique<hw::Server>(&sim,
+                                               hw::DefaultServerSpec("b"));
+  ne::NetworkEngine a(a_server.get(), &net, 1, options);
+  ne::NetworkEngine b(b_server.get(), &net, 2, options);
+  net.Attach(1, &a_server->nic_tx(),
+             [&](netsub::Packet p) { a.OnPacket(std::move(p)); });
+  net.Attach(2, &b_server->nic_tx(),
+             [&](netsub::Packet p) { b.OnPacket(std::move(p)); });
+
+  uint64_t received = 0;
+  b.Listen(80, [&](ne::NeSocket* s) {
+    s->SetReceiveCallback([&](ByteSpan d) { received += d.size(); });
+  });
+
+  // Spread the load across 8 connections (BDP and cwnd headroom).
+  constexpr int kConns = 8;
+  std::vector<ne::NeSocket*> sockets;
+  for (int i = 0; i < kConns; ++i) sockets.push_back(a.Connect(2, 80));
+
+  constexpr sim::SimTime kWindow = 10 * sim::kMillisecond;
+  constexpr size_t kMsg = 8192;
+  double msgs_per_sec = gbps * 1e9 / 8.0 / double(kMsg);
+  uint64_t total = uint64_t(msgs_per_sec * sim::ToSeconds(kWindow));
+  Buffer payload = kern::GenerateRandomBytes(kMsg, 1);
+
+  rt::UtilizationProbe probe(a_server.get());
+  probe.Start();
+  for (uint64_t i = 0; i < total; ++i) {
+    sim::SimTime at = sim::SimTime(double(i) / msgs_per_sec * 1e9);
+    ne::NeSocket* socket = sockets[i % kConns];
+    sim.ScheduleAt(at, [socket, &payload] { socket->Send(payload.span()); });
+  }
+  sim.Run();
+  probe.Stop();
+  double achieved =
+      double(received) * 8.0 / sim::ToSeconds(probe.window_ns()) / 1e9;
+  return Point{probe.host_cores(), probe.dpu_cores(), achieved};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: CPU consumption of network communication "
+              "===\n");
+  std::printf("8 KB messages over 100 Gbps; sender CPU cores vs offered "
+              "throughput\n\n");
+  std::printf("%8s | %12s | %22s\n", "", "kernel TCP", "DPDPU NE offload");
+  std::printf("%8s | %12s | %10s %11s\n", "Gbps", "host_cores",
+              "host_cores", "dpu_cores");
+
+  for (double gbps : {10.0, 25.0, 50.0, 75.0, 95.0}) {
+    Point kernel = RunAtGbps(ne::TcpMode::kHostKernel, gbps);
+    Point offload = RunAtGbps(ne::TcpMode::kDpuOffload, gbps);
+    std::printf("%8.0f | %12.2f | %10.3f %11.2f\n", gbps,
+                kernel.host_cores, offload.host_cores, offload.dpu_cores);
+  }
+  std::printf("\nshape check: host CPU grows with bandwidth and reaches "
+              "multiple cores near line rate; the NE moves that cost to "
+              "the DPU's efficient cores.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 7 reproduction: "DPU-optimized RDMA".
+//
+// The paper replaces host-issued RDMA (queue-pair spinlocks, memory
+// fences, doorbell MMIO stalls) with lock-free, DMA-polled rings whose
+// protocol execution runs on the DPU. We issue batches of one-sided
+// writes over both paths and report the host-side cost per operation and
+// the end-to-end completion throughput.
+
+#include <cstdio>
+
+#include "core/network/network_engine.h"
+#include "core/runtime/metrics.h"
+
+using namespace dpdpu;  // NOLINT: bench brevity
+
+namespace {
+
+struct Point {
+  double host_ns_per_op;
+  double dpu_ns_per_op;
+  double mops;
+};
+
+Point Run(ne::RdmaPath path, size_t op_bytes, int ops) {
+  sim::Simulator sim;
+  netsub::Network net(&sim);
+  auto a_server = std::make_unique<hw::Server>(&sim,
+                                               hw::DefaultServerSpec("a"));
+  auto b_server = std::make_unique<hw::Server>(&sim,
+                                               hw::DefaultServerSpec("b"));
+  ne::NetworkEngine a(a_server.get(), &net, 1, {});
+  ne::NetworkEngine b(b_server.get(), &net, 2, {});
+  net.Attach(1, &a_server->nic_tx(),
+             [&](netsub::Packet p) { a.OnPacket(std::move(p)); });
+  net.Attach(2, &b_server->nic_tx(),
+             [&](netsub::Packet p) { b.OnPacket(std::move(p)); });
+  netsub::QueuePair* qp_a = a.rdma_nic().CreateQueuePair();
+  netsub::QueuePair* qp_b = b.rdma_nic().CreateQueuePair();
+  netsub::ConnectQueuePairs(qp_a, qp_b);
+  netsub::MrKey local = a.rdma_nic().RegisterMemory(1 << 22);
+  netsub::MrKey remote = b.rdma_nic().RegisterMemory(1 << 22);
+
+  auto endpoint = a.CreateRdmaEndpoint(path, qp_a);
+  rt::UtilizationProbe probe(a_server.get());
+  probe.Start();
+  for (int i = 0; i < ops; ++i) {
+    size_t off = (size_t(i) * op_bytes) % ((1 << 22) - op_bytes);
+    (void)endpoint->Write(i, local, off, remote, off, op_bytes);
+  }
+  sim.Run();
+  int completions = 0;
+  netsub::RdmaCompletion c;
+  while (endpoint->PollCompletion(&c)) ++completions;
+  sim.Run();  // drain poll charges
+  probe.Stop();
+
+  Point p;
+  p.host_ns_per_op =
+      probe.host_cores() * double(probe.window_ns()) / double(ops);
+  p.dpu_ns_per_op =
+      probe.dpu_cores() * double(probe.window_ns()) / double(ops);
+  p.mops = double(completions) / sim::ToSeconds(probe.window_ns()) / 1e6;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7: DPU-optimized RDMA ===\n");
+  std::printf("one-sided WRITEs; host/DPU busy-time per op and "
+              "completion throughput\n\n");
+  std::printf("%8s | %26s | %26s\n", "", "native (host-issued)",
+              "NE offloaded (Fig 7)");
+  std::printf("%8s | %12s %13s | %12s %13s\n", "op size", "host_ns/op",
+              "Mops", "host_ns/op", "Mops");
+
+  constexpr int kOps = 20000;
+  for (size_t bytes : {64, 256, 1024, 4096}) {
+    Point native = Run(ne::RdmaPath::kNative, bytes, kOps);
+    Point offload = Run(ne::RdmaPath::kDpuOffloaded, bytes, kOps);
+    std::printf("%7zuB | %12.0f %13.2f | %12.0f %13.2f\n", bytes,
+                native.host_ns_per_op, native.mops,
+                offload.host_ns_per_op, offload.mops);
+  }
+  std::printf("\nshape check: the offloaded path cuts host issue cost by "
+              "several times (lock-free ring write vs lock+fence+doorbell "
+              "stall) while sustaining throughput; the DPU absorbs the "
+              "issuing work.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// google-benchmark microbenchmarks for the real software kernels and
+// core data structures (wall-clock performance of the actual
+// implementations, independent of the simulator's cost models).
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "kern/chacha20.h"
+#include "kern/crc32.h"
+#include "kern/dedup.h"
+#include "kern/deflate.h"
+#include "kern/regex.h"
+#include "kern/relational.h"
+#include "kern/textgen.h"
+#include "netsub/ring.h"
+#include "sim/simulator.h"
+
+namespace dpdpu {
+namespace {
+
+void BM_DeflateCompress(benchmark::State& state) {
+  size_t size = size_t(state.range(0));
+  int level = int(state.range(1));
+  Buffer text = kern::GenerateText(size, {});
+  for (auto _ : state) {
+    auto out = kern::DeflateCompress(text.span(),
+                                     kern::DeflateOptions{level});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(size));
+}
+BENCHMARK(BM_DeflateCompress)
+    ->Args({64 << 10, 1})
+    ->Args({64 << 10, 6})
+    ->Args({64 << 10, 9})
+    ->Args({1 << 20, 6});
+
+void BM_DeflateDecompress(benchmark::State& state) {
+  Buffer text = kern::GenerateText(size_t(state.range(0)), {});
+  auto compressed = kern::DeflateCompress(text.span());
+  for (auto _ : state) {
+    auto out = kern::DeflateDecompress(compressed->span());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DeflateDecompress)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_ChaCha20(benchmark::State& state) {
+  Buffer data = kern::GenerateRandomBytes(size_t(state.range(0)), 1);
+  std::array<uint8_t, 32> key{};
+  std::array<uint8_t, 12> nonce{};
+  for (auto _ : state) {
+    Buffer out = kern::ChaCha20Xor(key, nonce, 0, data.span());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_Crc32(benchmark::State& state) {
+  Buffer data = kern::GenerateRandomBytes(size_t(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kern::Crc32(data.span()));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_RegexCount(benchmark::State& state) {
+  Buffer text = kern::GenerateText(size_t(state.range(0)), {});
+  auto re = kern::Regex::Compile("[a-z]+tion");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re->CountMatches(text.view()));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_RegexCount)->Arg(16 << 10)->Arg(64 << 10);
+
+void BM_DedupChunk(benchmark::State& state) {
+  Buffer data = kern::GenerateText(size_t(state.range(0)), {});
+  for (auto _ : state) {
+    auto chunks = kern::ChunkData(data.span());
+    benchmark::DoNotOptimize(chunks);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DedupChunk)->Arg(1 << 20);
+
+void BM_FilterPage(benchmark::State& state) {
+  kern::Schema schema(
+      {{"id", kern::ColumnType::kInt64}, {"v", kern::ColumnType::kDouble}});
+  kern::RowPageBuilder builder(schema);
+  for (int i = 0; i < int(state.range(0)); ++i) {
+    (void)builder.AddRow({kern::Value(int64_t(i)), kern::Value(i * 0.5)});
+  }
+  Buffer page = builder.Finish();
+  auto reader = kern::RowPageReader::Open(&schema, page.span());
+  auto pred = kern::Predicate::Compare(0, kern::CompareOp::kLt,
+                                       kern::Value(int64_t(100)));
+  for (auto _ : state) {
+    auto rows = kern::FilterPage(*reader, *pred);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FilterPage)->Arg(1024)->Arg(16384);
+
+void BM_SpscRing(benchmark::State& state) {
+  netsub::SpscRing<uint64_t> ring(1024);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    (void)ring.TryPush(1);
+    (void)ring.TryPop(&v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_SpscRing);
+
+void BM_MpmcRing(benchmark::State& state) {
+  netsub::MpmcRing<uint64_t> ring(1024);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    (void)ring.TryPush(1);
+    (void)ring.TryPop(&v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MpmcRing);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(uint64_t(i % 37), [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulatorEvents);
+
+void BM_Histogram(benchmark::State& state) {
+  Histogram h;
+  uint64_t v = 12345;
+  for (auto _ : state) {
+    h.Add(v);
+    v = v * 1664525 + 1013904223;
+    benchmark::DoNotOptimize(h.count());
+  }
+}
+BENCHMARK(BM_Histogram);
+
+}  // namespace
+}  // namespace dpdpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,7 @@
+#include "common/buffer.h"
+
+// Buffer and ByteReader are fully inline; this translation unit exists so
+// the common library always has at least this object file and to anchor
+// future out-of-line helpers.
+
+namespace dpdpu {}  // namespace dpdpu

@@ -1,0 +1,54 @@
+// UniqueFunction: a move-only std::function<void()> replacement so that
+// simulation events and async completions can capture move-only state
+// (Buffers, Results) without shared_ptr indirection.
+
+#ifndef DPDPU_COMMON_FUNCTION_H_
+#define DPDPU_COMMON_FUNCTION_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace dpdpu {
+
+/// Type-erased move-only callable with signature void().
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& f)  // NOLINT(runtime/explicit)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) = default;
+  UniqueFunction& operator=(UniqueFunction&&) = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  void operator()() {
+    impl_->Call();
+  }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void Call() = 0;
+  };
+
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : fn(std::move(f)) {}
+    void Call() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace dpdpu
+
+#endif  // DPDPU_COMMON_FUNCTION_H_

@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the library-wide return type for fallible
+// functions that produce a value (Arrow's arrow::Result / absl::StatusOr
+// idiom, without exceptions).
+
+#ifndef DPDPU_COMMON_RESULT_H_
+#define DPDPU_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dpdpu {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::NotFound(...);` both work in a Result-returning
+  /// function (matching absl::StatusOr ergonomics).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Status requires a value; use Result(T)");
+    if (status_.ok()) status_ = Status::Internal("OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result<T> into `lhs`, propagating errors to the caller:
+///   DPDPU_ASSIGN_OR_RETURN(auto fd, fs.Open("x"));
+#define DPDPU_ASSIGN_OR_RETURN(lhs, expr)                      \
+  DPDPU_ASSIGN_OR_RETURN_IMPL_(                                \
+      DPDPU_RESULT_CONCAT_(_dpdpu_result, __LINE__), lhs, expr)
+
+#define DPDPU_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define DPDPU_RESULT_CONCAT_(a, b) DPDPU_RESULT_CONCAT_IMPL_(a, b)
+#define DPDPU_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dpdpu
+
+#endif  // DPDPU_COMMON_RESULT_H_

@@ -1,0 +1,23 @@
+#include "core/compute/sproc.h"
+
+#include "core/compute/compute_engine.h"
+
+namespace dpdpu::ce {
+
+ne::NetworkEngine* SprocContext::network() {
+  return static_cast<ne::NetworkEngine*>(engine_->network_engine_opaque());
+}
+
+se::StorageEngine* SprocContext::storage() {
+  return static_cast<se::StorageEngine*>(engine_->storage_engine_opaque());
+}
+
+Result<WorkItemPtr> SprocContext::InvokeKernel(const std::string& kernel,
+                                               Buffer input,
+                                               KernelParams params,
+                                               InvokeOptions options) {
+  return engine_->Invoke(kernel, std::move(input), std::move(params),
+                         options);
+}
+
+}  // namespace dpdpu::ce

@@ -1,0 +1,43 @@
+#include "core/network/flow.h"
+
+namespace dpdpu::ne {
+
+void FlowWriter::Push(ByteSpan record) {
+  pending_.AppendU32(static_cast<uint32_t>(record.size()));
+  pending_.Append(record);
+  ++records_;
+  if (pending_.size() >= batch_bytes_) Flush();
+}
+
+void FlowWriter::Flush() {
+  if (pending_.empty()) return;
+  socket_->Send(pending_.span());
+  pending_.clear();
+  ++batches_;
+}
+
+FlowReader::FlowReader(NeSocket* socket, RecordCallback on_record)
+    : on_record_(std::move(on_record)) {
+  socket->SetReceiveCallback([this](ByteSpan data) { OnBytes(data); });
+}
+
+void FlowReader::OnBytes(ByteSpan data) {
+  pending_.Append(data);
+  size_t consumed = 0;
+  for (;;) {
+    ByteReader r(pending_.span().subspan(consumed));
+    uint32_t len;
+    if (!r.ReadU32(&len)) break;
+    ByteSpan record;
+    if (!r.ReadSpan(len, &record)) break;
+    ++records_;
+    on_record_(record);
+    consumed += 4 + len;
+  }
+  if (consumed > 0) {
+    pending_ = Buffer(pending_.data() + consumed,
+                      pending_.size() - consumed);
+  }
+}
+
+}  // namespace dpdpu::ne

@@ -1,0 +1,65 @@
+#include "core/network/rdma_flow.h"
+
+#include "common/logging.h"
+
+namespace dpdpu::ne {
+
+Status RdmaFlowWriter::Push(ByteSpan record) {
+  pending_.AppendU32(static_cast<uint32_t>(record.size()));
+  pending_.Append(record);
+  ++records_;
+  if (pending_.size() >= batch_bytes_) return Flush();
+  return Status::Ok();
+}
+
+Status RdmaFlowWriter::Flush() {
+  if (pending_.empty()) return Status::Ok();
+  DPDPU_RETURN_IF_ERROR(endpoint_->Send(next_wr_++, pending_.span()));
+  pending_.clear();
+  ++batches_;
+  return Status::Ok();
+}
+
+RdmaFlowReader::RdmaFlowReader(RdmaEndpoint* endpoint, netsub::RdmaNic* nic,
+                               size_t slots, size_t slot_bytes,
+                               RecordCallback on_record)
+    : endpoint_(endpoint),
+      nic_(nic),
+      slot_bytes_(slot_bytes),
+      on_record_(std::move(on_record)) {
+  region_ = nic_->RegisterMemory(slots * slot_bytes);
+  for (size_t i = 0; i < slots; ++i) {
+    Status s = endpoint_->Recv(i, region_, i * slot_bytes_, slot_bytes_);
+    DPDPU_CHECK(s.ok());
+  }
+  endpoint_->SetCompletionNotify([this] { DrainCompletions(); });
+}
+
+void RdmaFlowReader::DrainCompletions() {
+  netsub::RdmaCompletion c;
+  while (endpoint_->PollCompletion(&c)) {
+    if (c.op != netsub::RdmaCompletion::OpType::kRecv || !c.ok) continue;
+    ++batches_;
+    size_t slot = static_cast<size_t>(c.wr_id);
+    auto mem = nic_->Memory(region_);
+    DPDPU_CHECK(mem.ok());
+    ConsumeBatch(ByteSpan(mem->data() + slot * slot_bytes_, c.bytes));
+    // Recycle the slot for the next batch.
+    (void)endpoint_->Recv(c.wr_id, region_, slot * slot_bytes_,
+                          slot_bytes_);
+  }
+}
+
+void RdmaFlowReader::ConsumeBatch(ByteSpan batch) {
+  ByteReader r(batch);
+  for (;;) {
+    uint32_t len;
+    if (!r.ReadU32(&len)) break;
+    ByteSpan record;
+    if (!r.ReadSpan(len, &record)) break;
+    ++records_;
+    on_record_(record);
+  }
+}
+
+}  // namespace dpdpu::ne

@@ -1,0 +1,39 @@
+#include "core/runtime/metrics.h"
+
+#include <cstdio>
+
+namespace dpdpu::rt {
+
+void UtilizationProbe::Start() {
+  start_time_ = server_->simulator()->now();
+  host_busy_start_ = server_->host_cpu().resource().busy_time();
+  dpu_busy_start_ = server_->dpu_cpu().resource().busy_time();
+}
+
+void UtilizationProbe::Stop() {
+  stop_time_ = server_->simulator()->now();
+  host_busy_stop_ = server_->host_cpu().resource().busy_time();
+  dpu_busy_stop_ = server_->dpu_cpu().resource().busy_time();
+}
+
+double UtilizationProbe::host_cores() const {
+  sim::SimTime window = window_ns();
+  return window == 0 ? 0.0
+                     : double(host_busy_stop_ - host_busy_start_) /
+                           double(window);
+}
+
+double UtilizationProbe::dpu_cores() const {
+  sim::SimTime window = window_ns();
+  return window == 0 ? 0.0
+                     : double(dpu_busy_stop_ - dpu_busy_start_) /
+                           double(window);
+}
+
+std::string Fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace dpdpu::rt

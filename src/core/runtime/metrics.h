@@ -1,0 +1,44 @@
+// Measurement helpers for experiments: interval probes over the hardware
+// model's busy-time counters, reporting the paper's "CPU cores consumed"
+// metric for a steady-state window.
+
+#ifndef DPDPU_CORE_RUNTIME_METRICS_H_
+#define DPDPU_CORE_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hw/machine.h"
+#include "sim/simulator.h"
+
+namespace dpdpu::rt {
+
+/// Busy-core-equivalents between Start() and Stop(), per cluster.
+class UtilizationProbe {
+ public:
+  explicit UtilizationProbe(hw::Server* server) : server_(server) {}
+
+  void Start();
+  void Stop();
+
+  /// Host/DPU cores consumed over the window (busy-time delta / window).
+  double host_cores() const;
+  double dpu_cores() const;
+  sim::SimTime window_ns() const { return stop_time_ - start_time_; }
+
+ private:
+  hw::Server* server_;
+  sim::SimTime start_time_ = 0;
+  sim::SimTime stop_time_ = 0;
+  sim::SimTime host_busy_start_ = 0;
+  sim::SimTime host_busy_stop_ = 0;
+  sim::SimTime dpu_busy_start_ = 0;
+  sim::SimTime dpu_busy_stop_ = 0;
+};
+
+/// Formats a double with fixed precision (bench table output helper).
+std::string Fmt(double value, int decimals = 2);
+
+}  // namespace dpdpu::rt
+
+#endif  // DPDPU_CORE_RUNTIME_METRICS_H_

@@ -1,0 +1,72 @@
+#include "core/runtime/shared_state.h"
+
+#include "common/logging.h"
+
+namespace dpdpu::rt {
+
+namespace {
+// Accounting overhead per entry (key bytes + index metadata).
+size_t EntryOverhead(const std::string& key) { return key.size() + 64; }
+}  // namespace
+
+SharedStateTable::SharedStateTable(hw::Server* server,
+                                   uint64_t capacity_bytes)
+    : server_(server) {
+  capacity_ = std::min(capacity_bytes, server->dpu_memory().available());
+  DPDPU_CHECK(server_->dpu_memory().Allocate(capacity_).ok());
+}
+
+SharedStateTable::~SharedStateTable() {
+  server_->dpu_memory().Free(capacity_);
+}
+
+Status SharedStateTable::Put(const std::string& key, Buffer value) {
+  ++stats_.puts;
+  size_t new_size = value.size() + EntryOverhead(key);
+  auto it = entries_.find(key);
+  size_t old_size =
+      it == entries_.end() ? 0 : it->second.value.size() + EntryOverhead(key);
+  if (used_ - old_size + new_size > capacity_) {
+    ++stats_.rejected_puts;
+    return Status::ResourceExhausted("shared state: over capacity");
+  }
+  used_ = used_ - old_size + new_size;
+  if (it == entries_.end()) {
+    entries_[key] = Entry{std::move(value), next_version_++};
+  } else {
+    it->second.value = std::move(value);
+    it->second.version = next_version_++;
+  }
+  return Status::Ok();
+}
+
+const Buffer* SharedStateTable::Get(const std::string& key) {
+  ++stats_.gets;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  return &it->second.value;
+}
+
+uint64_t SharedStateTable::Version(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+bool SharedStateTable::Erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  used_ -= it->second.value.size() + EntryOverhead(key);
+  entries_.erase(it);
+  ++stats_.erases;
+  return true;
+}
+
+std::vector<std::string> SharedStateTable::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace dpdpu::rt

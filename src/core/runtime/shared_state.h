@@ -1,0 +1,84 @@
+// Shared state across the three engines (paper Section 4: "DPDPU
+// facilitates composability using two mechanisms. First, it enables
+// shared state across the three engines via the DPU memory. The schema
+// of the state and cached data are customizable by the application.
+// Note that within each component, consistency is not guaranteed due to
+// asynchronous accesses").
+//
+// SharedStateTable is a byte-value KV region carved out of DPU memory.
+// Capacity is enforced through the server's MemoryPool (the 16 GB
+// constraint), and every entry carries a version counter so engines can
+// detect concurrent asynchronous updates — the paper's "no consistency
+// guaranteed" caveat made observable.
+
+#ifndef DPDPU_CORE_RUNTIME_SHARED_STATE_H_
+#define DPDPU_CORE_RUNTIME_SHARED_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "hw/machine.h"
+
+namespace dpdpu::rt {
+
+struct SharedStateStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t erases = 0;
+  uint64_t rejected_puts = 0;  // capacity
+};
+
+class SharedStateTable {
+ public:
+  /// Reserves `capacity_bytes` of DPU memory; the reservation shrinks to
+  /// what the pool can grant.
+  SharedStateTable(hw::Server* server, uint64_t capacity_bytes);
+  ~SharedStateTable();
+
+  SharedStateTable(const SharedStateTable&) = delete;
+  SharedStateTable& operator=(const SharedStateTable&) = delete;
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t entry_count() const { return entries_.size(); }
+
+  /// Inserts or replaces; fails with ResourceExhausted when the value
+  /// does not fit (entries are never evicted implicitly — the schema is
+  /// the application's).
+  Status Put(const std::string& key, Buffer value);
+
+  /// nullptr when absent. The pointer is valid until the next mutation
+  /// of this key.
+  const Buffer* Get(const std::string& key);
+
+  /// Monotonic per-key version (0 = never written). Engines compare
+  /// versions across asynchronous accesses to detect intervening writes.
+  uint64_t Version(const std::string& key) const;
+
+  bool Erase(const std::string& key);
+
+  std::vector<std::string> Keys() const;
+  const SharedStateStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Buffer value;
+    uint64_t version = 0;
+  };
+
+  hw::Server* server_;
+  uint64_t capacity_ = 0;
+  uint64_t used_ = 0;
+  uint64_t next_version_ = 1;
+  std::map<std::string, Entry> entries_;
+  SharedStateStats stats_;
+};
+
+}  // namespace dpdpu::rt
+
+#endif  // DPDPU_CORE_RUNTIME_SHARED_STATE_H_

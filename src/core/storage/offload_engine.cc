@@ -1,0 +1,54 @@
+#include "core/storage/storage_engine.h"
+#include "hw/calibration.h"
+
+namespace dpdpu::se {
+
+void OffloadEngine::Execute(RemoteRequest request, ReplyFn reply) {
+  ++executed_;
+  // UDF parse/translate on a DPU core (Section 7: "users supply a UDF
+  // that parses network messages ... and translates them into file
+  // operations").
+  server_->dpu_cpu().Execute(
+      hw::cal::kUdfParseCycles,
+      [this, request = std::move(request),
+       reply = std::move(reply)]() mutable {
+        if (udf_) {
+          Result<RemoteRequest> translated = udf_(request);
+          if (!translated.ok()) {
+            RemoteResponse resp;
+            resp.tag = request.tag;
+            resp.ok = false;
+            reply(EncodeRemoteResponse(resp));
+            return;
+          }
+          request = std::move(translated).value();
+        }
+        uint64_t tag = request.tag;
+        switch (request.op) {
+          case RemoteOp::kRead:
+            files_->ReadAsync(
+                request.file, request.offset, request.length,
+                [tag, reply = std::move(reply)](Result<Buffer> data) {
+                  RemoteResponse resp;
+                  resp.tag = tag;
+                  resp.ok = data.ok();
+                  if (data.ok()) resp.data = std::move(data).value();
+                  reply(EncodeRemoteResponse(resp));
+                });
+            break;
+          case RemoteOp::kWrite:
+            files_->WriteAsync(
+                request.file, request.offset, std::move(request.data),
+                persist_mode_,
+                [tag, reply = std::move(reply)](Status s) {
+                  RemoteResponse resp;
+                  resp.tag = tag;
+                  resp.ok = s.ok();
+                  reply(EncodeRemoteResponse(resp));
+                });
+            break;
+        }
+      });
+}
+
+}  // namespace dpdpu::se

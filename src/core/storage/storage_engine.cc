@@ -1,0 +1,467 @@
+#include "core/storage/storage_engine.h"
+
+#include "common/logging.h"
+#include "hw/calibration.h"
+
+namespace dpdpu::se {
+
+namespace cal = hw::cal;
+
+// ---------------------------------------------------------------------------
+// Protocol.
+// ---------------------------------------------------------------------------
+
+Buffer EncodeRemoteRequest(const RemoteRequest& request) {
+  Buffer out;
+  out.AppendU64(request.tag);
+  out.AppendU8(static_cast<uint8_t>(request.op));
+  out.AppendU8(request.flags);
+  out.AppendU32(request.file);
+  out.AppendU64(request.offset);
+  out.AppendU32(request.length);
+  out.AppendU32(static_cast<uint32_t>(request.data.size()));
+  out.Append(request.data.span());
+  return out;
+}
+
+Result<RemoteRequest> ParseRemoteRequest(ByteSpan payload) {
+  ByteReader r(payload);
+  RemoteRequest request;
+  uint8_t op;
+  uint32_t data_len;
+  if (!r.ReadU64(&request.tag) || !r.ReadU8(&op) ||
+      !r.ReadU8(&request.flags) || !r.ReadU32(&request.file) ||
+      !r.ReadU64(&request.offset) || !r.ReadU32(&request.length) ||
+      !r.ReadU32(&data_len)) {
+    return Status::Corruption("remote request: truncated header");
+  }
+  if (op != static_cast<uint8_t>(RemoteOp::kRead) &&
+      op != static_cast<uint8_t>(RemoteOp::kWrite)) {
+    return Status::Corruption("remote request: bad op");
+  }
+  request.op = static_cast<RemoteOp>(op);
+  if (!r.ReadBytes(data_len, &request.data)) {
+    return Status::Corruption("remote request: truncated payload");
+  }
+  return request;
+}
+
+Buffer EncodeRemoteResponse(const RemoteResponse& response) {
+  Buffer out;
+  out.AppendU64(response.tag);
+  out.AppendU8(response.ok ? 1 : 0);
+  out.AppendU32(static_cast<uint32_t>(response.data.size()));
+  out.Append(response.data.span());
+  return out;
+}
+
+Result<RemoteResponse> ParseRemoteResponse(ByteSpan payload) {
+  ByteReader r(payload);
+  RemoteResponse response;
+  uint8_t ok;
+  uint32_t data_len;
+  if (!r.ReadU64(&response.tag) || !r.ReadU8(&ok) ||
+      !r.ReadU32(&data_len)) {
+    return Status::Corruption("remote response: truncated header");
+  }
+  response.ok = ok != 0;
+  if (!r.ReadBytes(data_len, &response.data)) {
+    return Status::Corruption("remote response: truncated payload");
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// HostFileClient.
+// ---------------------------------------------------------------------------
+
+void HostFileClient::Create(
+    const std::string& name,
+    std::function<void(Result<fssub::FileId>)> cb) {
+  server_->host_cpu().Execute(
+      cal::kHostRingSubmitCycles,
+      [this, name, cb = std::move(cb)]() mutable {
+        files_->CreateAsync(name, std::move(cb));
+      });
+}
+
+namespace {
+constexpr uint32_t kHostCachePageBytes = 4096;
+}  // namespace
+
+HostFileClient::~HostFileClient() {
+  if (host_cache_reservation_ > 0) {
+    server_->host_memory().Free(host_cache_reservation_);
+  }
+}
+
+void HostFileClient::EnableHostCache(uint64_t bytes) {
+  uint64_t granted = std::min(bytes, server_->host_memory().available());
+  DPDPU_CHECK(server_->host_memory().Allocate(granted).ok());
+  host_cache_reservation_ = granted;
+  host_cache_ = std::make_unique<fssub::PageCache>(granted);
+}
+
+const fssub::PageCacheStats* HostFileClient::host_cache_stats() const {
+  return host_cache_ == nullptr ? nullptr : &host_cache_->stats();
+}
+
+bool HostFileClient::TryHostCache(fssub::FileId file, uint64_t offset,
+                                  uint32_t length, Buffer* out) {
+  if (host_cache_ == nullptr || length == 0) return false;
+  uint64_t first = offset / kHostCachePageBytes;
+  uint64_t last = (offset + length - 1) / kHostCachePageBytes;
+  Buffer assembled;
+  assembled.reserve(length);
+  for (uint64_t p = first; p <= last; ++p) {
+    const Buffer* page = host_cache_->Get({file, p});
+    if (page == nullptr) return false;
+    uint64_t base = p * kHostCachePageBytes;
+    size_t begin = p == first ? size_t(offset - base) : 0;
+    size_t end =
+        p == last ? size_t(offset + length - base) : page->size();
+    if (end > page->size()) return false;
+    assembled.Append(page->span().subspan(begin, end - begin));
+  }
+  *out = std::move(assembled);
+  return true;
+}
+
+void HostFileClient::PopulateHostCache(fssub::FileId file, uint64_t offset,
+                                       ByteSpan data) {
+  if (host_cache_ == nullptr) return;
+  uint64_t page = (offset + kHostCachePageBytes - 1) / kHostCachePageBytes;
+  size_t pos = size_t(page * kHostCachePageBytes - offset);
+  while (pos + kHostCachePageBytes <= data.size()) {
+    host_cache_->Put({file, page},
+                     Buffer(data.data() + pos, kHostCachePageBytes));
+    ++page;
+    pos += kHostCachePageBytes;
+  }
+}
+
+void HostFileClient::Read(fssub::FileId file, uint64_t offset,
+                          uint32_t length, FileService::ReadCallback cb) {
+  // Host-memory cache hits bypass even the ring crossing (a host-local
+  // memory copy plus negligible lookup cost).
+  Buffer cached;
+  if (path_ == HostIoPath::kDpuOffload &&
+      TryHostCache(file, offset, length, &cached)) {
+    cb(std::move(cached));
+    return;
+  }
+  if (path_ == HostIoPath::kLinuxBaseline) {
+    // Traditional path: the host storage stack burns host cycles per I/O
+    // (Figure 2's 18 K cycles/page), then the device access.
+    server_->host_cpu().ExecuteFor(
+        server_->host_cpu().CyclesToTime(cal::kLinuxStorageStackCyclesPerIo),
+        [this, file, offset, length, cb = std::move(cb)]() mutable {
+          server_->ssd().SubmitRead(
+              length, [this, file, offset, length, cb = std::move(cb)] {
+                cb(files_->fs().Read(file, offset, length));
+              });
+        });
+    return;
+  }
+  // DPDPU path: ring submit, DPU service, data DMA back, host poll.
+  server_->host_cpu().Execute(
+      cal::kHostRingSubmitCycles,
+      [this, file, offset, length, cb = std::move(cb)]() mutable {
+        files_->ReadAsync(
+            file, offset, length,
+            [this, file, offset, cb = std::move(cb)](
+                Result<Buffer> data) mutable {
+              size_t bytes = data.ok() ? data->size() : 0;
+              server_->pcie().Dma(
+                  bytes, [this, file, offset, cb = std::move(cb),
+                          data = std::move(data)]() mutable {
+                    server_->host_cpu().Execute(
+                        cal::kHostRingPollCycles,
+                        [this, file, offset, cb = std::move(cb),
+                         data = std::move(data)]() mutable {
+                          if (data.ok()) {
+                            PopulateHostCache(file, offset, data->span());
+                          }
+                          cb(std::move(data));
+                        });
+                  });
+            });
+      });
+}
+
+void HostFileClient::Write(fssub::FileId file, uint64_t offset, Buffer data,
+                           FileService::WriteCallback cb) {
+  if (host_cache_ != nullptr && !data.empty()) {
+    uint64_t first = offset / kHostCachePageBytes;
+    uint64_t last = (offset + data.size() - 1) / kHostCachePageBytes;
+    for (uint64_t p = first; p <= last; ++p) {
+      host_cache_->Erase({file, p});
+    }
+  }
+  if (path_ == HostIoPath::kLinuxBaseline) {
+    server_->host_cpu().ExecuteFor(
+        server_->host_cpu().CyclesToTime(cal::kLinuxStorageStackCyclesPerIo),
+        [this, file, offset, data = std::move(data),
+         cb = std::move(cb)]() mutable {
+          // Size read before the move-capture consumes data (argument
+          // evaluation order is unspecified).
+          size_t bytes = data.size();
+          server_->ssd().SubmitWrite(
+              bytes, [this, file, offset, data = std::move(data),
+                      cb = std::move(cb)] {
+                cb(files_->fs().Write(file, offset, data.span()));
+              });
+        });
+    return;
+  }
+  server_->host_cpu().Execute(
+      cal::kHostRingSubmitCycles,
+      [this, file, offset, data = std::move(data),
+       cb = std::move(cb)]() mutable {
+        size_t bytes = data.size();
+        server_->pcie().Dma(
+            bytes, [this, file, offset, data = std::move(data),
+                    cb = std::move(cb)]() mutable {
+              files_->WriteAsync(
+                  file, offset, std::move(data), PersistMode::kWriteThrough,
+                  [this, cb = std::move(cb)](Status s) mutable {
+                    server_->host_cpu().Execute(
+                        cal::kHostRingPollCycles,
+                        [cb = std::move(cb), s] { cb(s); });
+                  });
+            });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// RequestFramer: per-connection length-framed message handling.
+// ---------------------------------------------------------------------------
+
+class RequestFramer {
+ public:
+  using MessageHandler = std::function<void(ByteSpan)>;
+
+  explicit RequestFramer(ne::NeSocket* socket) : socket_(socket) {
+    socket_->SetReceiveCallback([this](ByteSpan data) { OnBytes(data); });
+  }
+
+  void SetHandler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  void Reply(ByteSpan message) {
+    Buffer framed;
+    framed.AppendU32(static_cast<uint32_t>(message.size()));
+    framed.Append(message);
+    socket_->Send(framed.span());
+  }
+
+ private:
+  void OnBytes(ByteSpan data) {
+    pending_.Append(data);
+    size_t consumed = 0;
+    for (;;) {
+      ByteReader r(pending_.span().subspan(consumed));
+      uint32_t len;
+      if (!r.ReadU32(&len)) break;
+      ByteSpan message;
+      if (!r.ReadSpan(len, &message)) break;
+      if (handler_) handler_(message);
+      consumed += 4 + len;
+    }
+    if (consumed > 0) {
+      pending_ =
+          Buffer(pending_.data() + consumed, pending_.size() - consumed);
+    }
+  }
+
+  ne::NeSocket* socket_;
+  MessageHandler handler_;
+  Buffer pending_;
+};
+
+// ---------------------------------------------------------------------------
+// StorageEngine.
+// ---------------------------------------------------------------------------
+
+StorageEngine::StorageEngine(hw::Server* server, ne::NetworkEngine* network,
+                             fssub::DpuFs* fs, StorageEngineOptions options)
+    : server_(server), network_(network), options_(options) {
+  files_ = std::make_unique<FileService>(server, fs,
+                                         options.dpu_cache_bytes);
+  host_client_ = std::make_unique<HostFileClient>(server, files_.get());
+  director_ = std::make_unique<TrafficDirector>(server, nullptr);
+  offload_ = std::make_unique<OffloadEngine>(server, files_.get());
+  offload_->SetPersistMode(options.persist_mode);
+}
+
+StorageEngine::~StorageEngine() = default;
+
+void StorageEngine::Serve() {
+  network_->Listen(options_.listen_port, [this](ne::NeSocket* socket) {
+    // The server endpoint is the DPU itself: requests are classified and
+    // (when offloadable) served without a host crossing (Figure 8).
+    socket->SetLanding(ne::SocketLanding::kDpu);
+    auto framer = std::make_unique<RequestFramer>(socket);
+    RequestFramer* raw = framer.get();
+    raw->SetHandler([this, raw](ByteSpan message) {
+      Result<RemoteRequest> request = ParseRemoteRequest(message);
+      if (!request.ok()) return;  // malformed request: drop
+      HandleRequest(std::move(request).value(), [raw](Buffer response) {
+        raw->Reply(response.span());
+      });
+    });
+    framers_.push_back(std::move(framer));
+  });
+}
+
+void StorageEngine::HandleRequest(RemoteRequest request,
+                                  std::function<void(Buffer)> reply) {
+  TrafficDirector::Route route = director_->Classify(request);
+  if (route == TrafficDirector::Route::kDpu) {
+    offload_->Execute(std::move(request), std::move(reply));
+  } else {
+    HostFallback(std::move(request), std::move(reply));
+  }
+}
+
+void StorageEngine::HostFallback(RemoteRequest request,
+                                 std::function<void(Buffer)> reply) {
+  if (host_handler_) {
+    // The request crosses PCIe to the host application first.
+    server_->pcie().Dma(
+        request.data.size() + 64,
+        [this, request = std::move(request),
+         reply = std::move(reply)]() mutable {
+          host_handler_(std::move(request), std::move(reply));
+        });
+    return;
+  }
+  // Default host fallback: PCIe to host, host storage-stack processing,
+  // then the file operation (still via the unified DPU file system).
+  server_->pcie().Dma(
+      request.data.size() + 64,
+      [this, request = std::move(request),
+       reply = std::move(reply)]() mutable {
+        server_->host_cpu().ExecuteFor(
+            server_->host_cpu().CyclesToTime(
+                cal::kLinuxStorageStackCyclesPerIo),
+            [this, request = std::move(request),
+             reply = std::move(reply)]() mutable {
+              uint64_t tag = request.tag;
+              // Host-processed results cross PCIe again on the way back
+              // to the NIC — the extra round trips Figure 8 highlights.
+              auto respond = [this, reply = std::move(reply),
+                              tag](Result<Buffer> data) mutable {
+                RemoteResponse resp;
+                resp.tag = tag;
+                resp.ok = data.ok();
+                if (data.ok()) resp.data = std::move(data).value();
+                Buffer encoded = EncodeRemoteResponse(resp);
+                size_t bytes = encoded.size();
+                server_->pcie().Dma(
+                    bytes, [reply = std::move(reply),
+                            encoded = std::move(encoded)]() mutable {
+                      reply(std::move(encoded));
+                    });
+              };
+              if (request.op == RemoteOp::kRead) {
+                files_->ReadAsync(request.file, request.offset,
+                                  request.length, std::move(respond));
+              } else {
+                files_->WriteAsync(
+                    request.file, request.offset, std::move(request.data),
+                    PersistMode::kWriteThrough,
+                    [respond = std::move(respond)](Status s) mutable {
+                      if (s.ok()) {
+                        respond(Buffer());
+                      } else {
+                        respond(std::move(s));
+                      }
+                    });
+              }
+            });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// RemoteStorageClient.
+// ---------------------------------------------------------------------------
+
+RemoteStorageClient::RemoteStorageClient(ne::NetworkEngine* network,
+                                         netsub::NodeId server,
+                                         uint16_t port) {
+  socket_ = network->Connect(server, port);
+  socket_->SetReceiveCallback([this](ByteSpan data) { OnResponse(data); });
+}
+
+void RemoteStorageClient::SendRequest(RemoteRequest request) {
+  Buffer payload = EncodeRemoteRequest(request);
+  Buffer framed;
+  framed.AppendU32(static_cast<uint32_t>(payload.size()));
+  framed.Append(payload.span());
+  socket_->Send(framed.span());
+}
+
+void RemoteStorageClient::Read(fssub::FileId file, uint64_t offset,
+                               uint32_t length,
+                               std::function<void(Result<Buffer>)> cb,
+                               uint8_t flags) {
+  RemoteRequest request;
+  request.tag = next_tag_++;
+  request.op = RemoteOp::kRead;
+  request.file = file;
+  request.offset = offset;
+  request.length = length;
+  request.flags = flags;
+  pending_[request.tag] = [cb = std::move(cb)](RemoteResponse resp) {
+    if (resp.ok) {
+      cb(std::move(resp.data));
+    } else {
+      cb(Status::IoError("remote read failed"));
+    }
+  };
+  SendRequest(std::move(request));
+}
+
+void RemoteStorageClient::Write(fssub::FileId file, uint64_t offset,
+                                Buffer data,
+                                std::function<void(Status)> cb,
+                                uint8_t flags) {
+  RemoteRequest request;
+  request.tag = next_tag_++;
+  request.op = RemoteOp::kWrite;
+  request.file = file;
+  request.offset = offset;
+  request.data = std::move(data);
+  request.flags = flags;
+  pending_[request.tag] = [cb = std::move(cb)](RemoteResponse resp) {
+    cb(resp.ok ? Status::Ok() : Status::IoError("remote write failed"));
+  };
+  SendRequest(std::move(request));
+}
+
+void RemoteStorageClient::OnResponse(ByteSpan data) {
+  rx_pending_.Append(data);
+  size_t consumed = 0;
+  for (;;) {
+    ByteReader r(rx_pending_.span().subspan(consumed));
+    uint32_t len;
+    if (!r.ReadU32(&len)) break;
+    ByteSpan message;
+    if (!r.ReadSpan(len, &message)) break;
+    Result<RemoteResponse> resp = ParseRemoteResponse(message);
+    consumed += 4 + len;
+    if (!resp.ok()) continue;
+    auto it = pending_.find(resp->tag);
+    if (it != pending_.end()) {
+      auto cb = std::move(it->second);
+      pending_.erase(it);
+      cb(std::move(resp).value());
+    }
+  }
+  if (consumed > 0) {
+    rx_pending_ = Buffer(rx_pending_.data() + consumed,
+                         rx_pending_.size() - consumed);
+  }
+}
+
+}  // namespace dpdpu::se

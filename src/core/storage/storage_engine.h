@@ -1,0 +1,262 @@
+// The DPDPU Storage Engine (paper Sections 7 and 9 / DDS, Figures 8-9):
+//
+//  * HostFileClient — POSIX-like host library; requests forward to the
+//    DPU file service through lock-free rings (or run through the
+//    traditional Linux stack for the Figure 2 baseline).
+//  * TrafficDirector — per-request DPU-vs-host routing "without breaking
+//    end-to-end transport semantics".
+//  * OffloadEngine — the user-supplied UDF parses remote storage
+//    requests and translates them into file operations executed on the
+//    DPU without host involvement.
+//  * StorageEngine — serves remote requests end to end: NE socket ->
+//    traffic director -> offload engine or host fallback.
+//  * RemoteStorageClient — the compute-node side, issuing requests over
+//    the Network Engine.
+
+#ifndef DPDPU_CORE_STORAGE_STORAGE_ENGINE_H_
+#define DPDPU_CORE_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "core/network/network_engine.h"
+#include "core/storage/file_service.h"
+#include "fssub/dpufs.h"
+#include "hw/machine.h"
+
+namespace dpdpu::se {
+
+// ---------------------------------------------------------------------------
+// Remote storage request protocol (length-framed over an NE socket).
+// ---------------------------------------------------------------------------
+
+enum class RemoteOp : uint8_t { kRead = 1, kWrite = 2 };
+
+struct RemoteRequest {
+  uint64_t tag = 0;
+  RemoteOp op = RemoteOp::kRead;
+  fssub::FileId file = 0;
+  uint64_t offset = 0;
+  uint32_t length = 0;  // read length
+  Buffer data;          // write payload
+  /// Application hint the UDF may use for routing (e.g. "log replay
+  /// requests must go to the host" — the partial-offload case).
+  uint8_t flags = 0;
+};
+
+inline constexpr uint8_t kRequestFlagRequiresHost = 1;
+
+Buffer EncodeRemoteRequest(const RemoteRequest& request);
+Result<RemoteRequest> ParseRemoteRequest(ByteSpan payload);
+
+struct RemoteResponse {
+  uint64_t tag = 0;
+  bool ok = true;
+  Buffer data;
+};
+
+Buffer EncodeRemoteResponse(const RemoteResponse& response);
+Result<RemoteResponse> ParseRemoteResponse(ByteSpan payload);
+
+// ---------------------------------------------------------------------------
+// Traffic director.
+// ---------------------------------------------------------------------------
+
+/// Decides, per request, whether the DPU can serve it (DDS question Q2).
+class TrafficDirector {
+ public:
+  /// Returns true when the request may be served on the DPU.
+  using Classifier = std::function<bool(const RemoteRequest&)>;
+
+  TrafficDirector(hw::Server* server, Classifier classifier)
+      : server_(server), classifier_(std::move(classifier)) {}
+
+  enum class Route : uint8_t { kDpu, kHost };
+
+  /// Charges the per-packet decision cost on the DPU.
+  Route Classify(const RemoteRequest& request);
+
+  uint64_t routed_to_dpu() const { return to_dpu_; }
+  uint64_t routed_to_host() const { return to_host_; }
+
+  void SetClassifier(Classifier c) { classifier_ = std::move(c); }
+
+ private:
+  hw::Server* server_;
+  Classifier classifier_;
+  uint64_t to_dpu_ = 0;
+  uint64_t to_host_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Offload engine.
+// ---------------------------------------------------------------------------
+
+/// Executes offloadable remote requests on the DPU via the file service
+/// (DDS question Q3). The UDF translates an application request into a
+/// file operation; the default UDF handles the built-in protocol.
+class OffloadEngine {
+ public:
+  using Udf = std::function<Result<RemoteRequest>(const RemoteRequest&)>;
+  using ReplyFn = std::function<void(Buffer)>;
+
+  OffloadEngine(hw::Server* server, FileService* files)
+      : server_(server), files_(files) {}
+
+  /// Replaces the request-translation UDF.
+  void SetUdf(Udf udf) { udf_ = std::move(udf); }
+
+  void SetPersistMode(PersistMode mode) { persist_mode_ = mode; }
+
+  /// Parses (UDF) and executes on the DPU, then replies.
+  void Execute(RemoteRequest request, ReplyFn reply);
+
+  uint64_t requests_executed() const { return executed_; }
+
+ private:
+  hw::Server* server_;
+  FileService* files_;
+  Udf udf_;
+  PersistMode persist_mode_ = PersistMode::kWriteThrough;
+  uint64_t executed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Host file client.
+// ---------------------------------------------------------------------------
+
+/// How host applications reach their files.
+enum class HostIoPath : uint8_t {
+  /// Traditional Linux storage stack on host cores (Figure 2 baseline).
+  kLinuxBaseline,
+  /// DPDPU: forward over lock-free rings to the DPU file service.
+  kDpuOffload,
+};
+
+/// POSIX-like host library ("a light-weight user library to forward
+/// storage requests from the client to the DPU").
+class HostFileClient {
+ public:
+  HostFileClient(hw::Server* server, FileService* files,
+                 HostIoPath path = HostIoPath::kDpuOffload)
+      : server_(server), files_(files), path_(path) {}
+  ~HostFileClient();
+
+  void Create(const std::string& name,
+              std::function<void(Result<fssub::FileId>)> cb);
+  Result<fssub::FileId> Open(const std::string& name) const {
+    return files_->Lookup(name);
+  }
+  void Read(fssub::FileId file, uint64_t offset, uint32_t length,
+            FileService::ReadCallback cb);
+  void Write(fssub::FileId file, uint64_t offset, Buffer data,
+             FileService::WriteCallback cb);
+
+  /// Section 9 caching: a page cache in *host* memory in front of the
+  /// DPU path ("caching in host memory is most efficient for host
+  /// applications"). Capacity is reserved from the host memory pool.
+  void EnableHostCache(uint64_t bytes);
+  const fssub::PageCacheStats* host_cache_stats() const;
+
+  HostIoPath path() const { return path_; }
+  void set_path(HostIoPath path) { path_ = path; }
+
+ private:
+  bool TryHostCache(fssub::FileId file, uint64_t offset, uint32_t length,
+                    Buffer* out);
+  void PopulateHostCache(fssub::FileId file, uint64_t offset,
+                         ByteSpan data);
+
+  hw::Server* server_;
+  FileService* files_;
+  HostIoPath path_;
+  std::unique_ptr<fssub::PageCache> host_cache_;
+  uint64_t host_cache_reservation_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Storage engine (server side) and remote client.
+// ---------------------------------------------------------------------------
+
+struct StorageEngineOptions {
+  uint64_t dpu_cache_bytes = 1ull << 30;
+  PersistMode persist_mode = PersistMode::kWriteThrough;
+  uint16_t listen_port = 9000;
+};
+
+class StorageEngine {
+ public:
+  /// Fires when a request routed to the host completes its host-side
+  /// processing; the handler produces the response payload.
+  using HostHandler =
+      std::function<void(RemoteRequest, std::function<void(Buffer)>)>;
+
+  StorageEngine(hw::Server* server, ne::NetworkEngine* network,
+                fssub::DpuFs* fs, StorageEngineOptions options = {});
+  ~StorageEngine();  // out of line: RequestFramer is incomplete here
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  FileService& file_service() { return *files_; }
+  HostFileClient& host_client() { return *host_client_; }
+  TrafficDirector& director() { return *director_; }
+  OffloadEngine& offload_engine() { return *offload_; }
+
+  /// Starts accepting remote storage connections on the listen port.
+  void Serve();
+
+  /// Replaces host-side fallback processing (default: host storage-stack
+  /// cycles, then the file operation via the DPU file service).
+  void SetHostHandler(HostHandler handler) {
+    host_handler_ = std::move(handler);
+  }
+
+ private:
+  void HandleRequest(RemoteRequest request,
+                     std::function<void(Buffer)> reply);
+  void HostFallback(RemoteRequest request,
+                    std::function<void(Buffer)> reply);
+
+  hw::Server* server_;
+  ne::NetworkEngine* network_;
+  StorageEngineOptions options_;
+  std::unique_ptr<FileService> files_;
+  std::unique_ptr<HostFileClient> host_client_;
+  std::unique_ptr<TrafficDirector> director_;
+  std::unique_ptr<OffloadEngine> offload_;
+  HostHandler host_handler_;
+  std::vector<std::unique_ptr<class RequestFramer>> framers_;
+};
+
+/// Compute-node client for the remote storage protocol.
+class RemoteStorageClient {
+ public:
+  RemoteStorageClient(ne::NetworkEngine* network, netsub::NodeId server,
+                      uint16_t port);
+
+  void Read(fssub::FileId file, uint64_t offset, uint32_t length,
+            std::function<void(Result<Buffer>)> cb, uint8_t flags = 0);
+  void Write(fssub::FileId file, uint64_t offset, Buffer data,
+             std::function<void(Status)> cb, uint8_t flags = 0);
+
+  uint64_t requests_outstanding() const { return pending_.size(); }
+
+ private:
+  void SendRequest(RemoteRequest request);
+  void OnResponse(ByteSpan payload);
+
+  ne::NeSocket* socket_;
+  Buffer rx_pending_;
+  uint64_t next_tag_ = 1;
+  std::map<uint64_t, std::function<void(RemoteResponse)>> pending_;
+};
+
+}  // namespace dpdpu::se
+
+#endif  // DPDPU_CORE_STORAGE_STORAGE_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "fssub/page_cache.h"
+
+#include "common/logging.h"
+
+namespace dpdpu::fssub {
+
+const Buffer* PageCache::Get(const PageKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_[it->second].referenced = true;
+  return &entries_[it->second].page;
+}
+
+void PageCache::EvictOne() {
+  DPDPU_CHECK(!entries_.empty());
+  for (;;) {
+    if (hand_ >= entries_.size()) hand_ = 0;
+    Entry& e = entries_[hand_];
+    if (e.referenced) {
+      e.referenced = false;  // second chance
+      ++hand_;
+      continue;
+    }
+    // Evict: swap-with-back removal keeps the arena dense.
+    used_ -= e.page.size();
+    ++stats_.evictions;
+    index_.erase(e.key);
+    size_t last = entries_.size() - 1;
+    if (hand_ != last) {
+      entries_[hand_] = std::move(entries_[last]);
+      index_[entries_[hand_].key] = hand_;
+    }
+    entries_.pop_back();
+    return;
+  }
+}
+
+void PageCache::Put(const PageKey& key, Buffer page) {
+  if (page.size() > capacity_) return;  // cannot fit (incl. capacity 0)
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    used_ -= e.page.size();
+    used_ += page.size();
+    e.page = std::move(page);
+    e.referenced = true;
+    while (used_ > capacity_) EvictOne();
+    return;
+  }
+  while (used_ + page.size() > capacity_) EvictOne();
+  used_ += page.size();
+  ++stats_.insertions;
+  // New pages enter unreferenced (inactive-list style): a page must be
+  // *re*-accessed to earn its second chance, so scans cannot flush pages
+  // the workload is actively re-reading.
+  entries_.push_back(Entry{key, std::move(page), false});
+  index_[key] = entries_.size() - 1;
+}
+
+void PageCache::Erase(const PageKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  size_t pos = it->second;
+  used_ -= entries_[pos].page.size();
+  index_.erase(it);
+  size_t last = entries_.size() - 1;
+  if (pos != last) {
+    entries_[pos] = std::move(entries_[last]);
+    index_[entries_[pos].key] = pos;
+  }
+  entries_.pop_back();
+  if (hand_ > entries_.size()) hand_ = 0;
+}
+
+void PageCache::EraseFile(uint32_t file) {
+  for (size_t i = 0; i < entries_.size();) {
+    if (entries_[i].key.file == file) {
+      Erase(entries_[i].key);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void PageCache::Resize(uint64_t capacity_bytes) {
+  capacity_ = capacity_bytes;
+  while (used_ > capacity_ && !entries_.empty()) EvictOne();
+}
+
+}  // namespace dpdpu::fssub

@@ -1,0 +1,96 @@
+// CLOCK page cache with byte-budget capacity. The paper's Section 9
+// ("Caching in DPU-backed file system") asks how to split cache capacity
+// between host memory (best for host applications) and DPU memory (best
+// for offloaded remote requests); the Storage Engine instantiates one of
+// these on each side and the abl_cache_split benchmark sweeps the split.
+
+#ifndef DPDPU_FSSUB_PAGE_CACHE_H_
+#define DPDPU_FSSUB_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace dpdpu::fssub {
+
+/// Cache key: (file, page index).
+struct PageKey {
+  uint32_t file = 0;
+  uint64_t page = 0;
+
+  bool operator==(const PageKey& other) const {
+    return file == other.file && page == other.page;
+  }
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    return std::hash<uint64_t>()((uint64_t(k.file) << 40) ^ k.page);
+  }
+};
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+};
+
+/// CLOCK (second-chance) eviction over a byte budget. Capacity 0 disables
+/// caching entirely (every lookup misses, nothing is stored).
+class PageCache {
+ public:
+  explicit PageCache(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t page_count() const { return entries_.size(); }
+  const PageCacheStats& stats() const { return stats_; }
+
+  /// Looks up a page; sets the reference bit on hit.
+  const Buffer* Get(const PageKey& key);
+
+  /// Inserts or replaces a page, evicting via CLOCK to fit.
+  void Put(const PageKey& key, Buffer page);
+
+  /// Drops one page (e.g. on invalidation by a write).
+  void Erase(const PageKey& key);
+
+  /// Drops every page of a file (e.g. on delete).
+  void EraseFile(uint32_t file);
+
+  /// Changes capacity, evicting as needed.
+  void Resize(uint64_t capacity_bytes);
+
+ private:
+  struct Entry {
+    PageKey key;
+    Buffer page;
+    bool referenced = false;
+  };
+
+  void EvictOne();
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::vector<Entry> entries_;  // clock arena
+  size_t hand_ = 0;
+  std::unordered_map<PageKey, size_t, PageKeyHash> index_;
+  PageCacheStats stats_;
+};
+
+}  // namespace dpdpu::fssub
+
+#endif  // DPDPU_FSSUB_PAGE_CACHE_H_

@@ -1,0 +1,160 @@
+#include "hw/machine.h"
+
+#include "hw/calibration.h"
+
+namespace dpdpu::hw {
+
+std::string_view AcceleratorKindName(AcceleratorKind kind) {
+  switch (kind) {
+    case AcceleratorKind::kCompression:
+      return "compression";
+    case AcceleratorKind::kEncryption:
+      return "encryption";
+    case AcceleratorKind::kRegex:
+      return "regex";
+    case AcceleratorKind::kDedup:
+      return "dedup";
+  }
+  return "unknown";
+}
+
+bool DpuSpec::HasAccelerator(AcceleratorKind kind) const {
+  for (const auto& a : accelerators) {
+    if (a.kind == kind) return true;
+  }
+  return false;
+}
+
+DpuSpec BlueField2Spec() {
+  DpuSpec spec;
+  spec.model = "BlueField-2";
+  spec.cpu = CpuSpec{"bf2_arm", cal::kBf2ArmCores, cal::kBf2ArmClockHz,
+                     cal::kBf2ArmIpc};
+  spec.accelerators = {
+      {AcceleratorKind::kCompression, cal::kBf2CompressAsicBytesPerSec,
+       cal::kBf2CompressAsicSetupNs, cal::kBf2CompressAsicConcurrency},
+      {AcceleratorKind::kEncryption, cal::kBf2CryptoAsicBytesPerSec,
+       cal::kBf2CryptoAsicSetupNs, cal::kBf2CryptoAsicConcurrency},
+      {AcceleratorKind::kRegex, cal::kBf2RegexAsicBytesPerSec,
+       cal::kBf2RegexAsicSetupNs, cal::kBf2RegexAsicConcurrency},
+      {AcceleratorKind::kDedup, cal::kBf2DedupAsicBytesPerSec,
+       cal::kBf2DedupAsicSetupNs, cal::kBf2DedupAsicConcurrency},
+  };
+  spec.nic = NicSpec{cal::kNicBitsPerSec, cal::kNicPropagationNs,
+                     cal::kNicMtuBytes};
+  spec.pcie = PcieSpec{cal::kPcieBytesPerSec, cal::kPcieLatencyNs};
+  spec.memory_bytes = cal::kBf2MemoryBytes;
+  spec.generic_nic_core_offload = false;
+  spec.log_device_write_latency_ns = cal::kDpuLogDeviceWriteLatencyNs;
+  spec.log_device_bytes_per_sec = cal::kDpuLogDeviceBytesPerSec;
+  return spec;
+}
+
+DpuSpec BlueField3Spec() {
+  DpuSpec spec;
+  spec.model = "BlueField-3";
+  spec.cpu = CpuSpec{"bf3_arm", cal::kBf3ArmCores, cal::kBf3ArmClockHz,
+                     cal::kBf3ArmIpc};
+  // No RegEx engine on BlueField-3 (paper Sections 1 and 5).
+  spec.accelerators = {
+      {AcceleratorKind::kCompression, cal::kBf3CompressAsicBytesPerSec,
+       cal::kBf2CompressAsicSetupNs, cal::kBf2CompressAsicConcurrency},
+      {AcceleratorKind::kEncryption, cal::kBf3CryptoAsicBytesPerSec,
+       cal::kBf2CryptoAsicSetupNs, cal::kBf2CryptoAsicConcurrency},
+      {AcceleratorKind::kDedup, cal::kBf2DedupAsicBytesPerSec,
+       cal::kBf2DedupAsicSetupNs, cal::kBf2DedupAsicConcurrency},
+  };
+  spec.nic = NicSpec{4 * cal::kNicBitsPerSec, cal::kNicPropagationNs,
+                     cal::kNicMtuBytes};
+  spec.pcie = PcieSpec{2 * cal::kPcieBytesPerSec, cal::kPcieLatencyNs};
+  spec.memory_bytes = cal::kBf3MemoryBytes;
+  spec.generic_nic_core_offload = true;
+  spec.log_device_write_latency_ns = cal::kDpuLogDeviceWriteLatencyNs;
+  spec.log_device_bytes_per_sec = cal::kDpuLogDeviceBytesPerSec;
+  return spec;
+}
+
+DpuSpec IntelIpuLikeSpec() {
+  DpuSpec spec;
+  spec.model = "IPU-like";
+  spec.cpu = CpuSpec{"ipu_arm", 16, 2.0e9, 0.55};
+  // Crypto only; no compression, RegEx, or dedup engines exposed.
+  spec.accelerators = {
+      {AcceleratorKind::kEncryption, 3.0e9, cal::kBf2CryptoAsicSetupNs,
+       cal::kBf2CryptoAsicConcurrency},
+  };
+  spec.nic = NicSpec{2 * cal::kNicBitsPerSec, cal::kNicPropagationNs,
+                     cal::kNicMtuBytes};
+  spec.pcie = PcieSpec{cal::kPcieBytesPerSec, cal::kPcieLatencyNs};
+  spec.memory_bytes = 16ull << 30;
+  spec.generic_nic_core_offload = false;
+  spec.log_device_write_latency_ns = 0;  // no onboard log device
+  spec.log_device_bytes_per_sec = 0;
+  return spec;
+}
+
+CpuSpec HostEpycSpec(uint32_t cores) {
+  return CpuSpec{"host_epyc", cores == 0 ? cal::kHostCores : cores,
+                 cal::kHostClockHz, cal::kHostIpc};
+}
+
+ServerSpec DefaultServerSpec(std::string name) {
+  return MakeServerSpec(std::move(name), BlueField2Spec());
+}
+
+ServerSpec MakeServerSpec(std::string name, DpuSpec dpu) {
+  ServerSpec spec;
+  spec.name = std::move(name);
+  spec.host_cpu = HostEpycSpec();
+  spec.dpu = std::move(dpu);
+  spec.ssd = SsdSpec{cal::kSsdReadLatencyNs, cal::kSsdWriteLatencyNs,
+                     cal::kSsdQueueDepth, cal::kSsdInternalBytesPerSec};
+  return spec;
+}
+
+Server::Server(sim::Simulator* sim, ServerSpec spec)
+    : spec_(std::move(spec)),
+      sim_(sim),
+      host_memory_(spec_.name + "/host_mem", spec_.host_memory_bytes),
+      dpu_memory_(spec_.name + "/dpu_mem", spec_.dpu.memory_bytes) {
+  CpuSpec host = spec_.host_cpu;
+  host.name = spec_.name + "/" + host.name;
+  host_cpu_ = std::make_unique<CpuCluster>(sim, host);
+
+  CpuSpec dpu = spec_.dpu.cpu;
+  dpu.name = spec_.name + "/" + dpu.name;
+  dpu_cpu_ = std::make_unique<CpuCluster>(sim, dpu);
+
+  for (const auto& aspec : spec_.dpu.accelerators) {
+    accelerators_.push_back(std::make_unique<Accelerator>(sim, aspec));
+  }
+
+  nic_tx_ = std::make_unique<NicPort>(sim, spec_.name + "/nic", spec_.dpu.nic);
+  pcie_ = std::make_unique<PcieLink>(sim, spec_.name + "/pcie",
+                                     spec_.dpu.pcie);
+  ssd_ = std::make_unique<SsdDevice>(sim, spec_.name + "/ssd", spec_.ssd);
+
+  if (spec_.pcie_accelerator.has_value()) {
+    pcie_accel_ = std::make_unique<PcieAccelerator>(
+        sim, *spec_.pcie_accelerator);
+  }
+
+  if (spec_.dpu.log_device_write_latency_ns > 0) {
+    SsdSpec log_spec;
+    log_spec.read_latency_ns = spec_.dpu.log_device_write_latency_ns;
+    log_spec.write_latency_ns = spec_.dpu.log_device_write_latency_ns;
+    log_spec.queue_depth = 8;
+    log_spec.internal_bytes_per_sec = spec_.dpu.log_device_bytes_per_sec;
+    dpu_log_ = std::make_unique<SsdDevice>(sim, spec_.name + "/dpu_log",
+                                           log_spec);
+  }
+}
+
+Accelerator* Server::accelerator(AcceleratorKind kind) {
+  for (auto& a : accelerators_) {
+    if (a->kind() == kind) return a.get();
+  }
+  return nullptr;
+}
+
+}  // namespace dpdpu::hw

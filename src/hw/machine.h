@@ -1,0 +1,114 @@
+// Machine assembly: a Server is a host CPU complex plus a DPU SoC (CPU
+// cluster, accelerators, NIC, PCIe switch, onboard memory) and
+// PCIe-attached SSDs — the resource picture of the paper's Figures 4-5.
+// Presets capture the DPU heterogeneity the paper's Challenge #3 calls
+// out: BlueField-2 (has a RegEx ASIC), BlueField-3 (does not), and an
+// Intel-IPU-like device (match-action offload only).
+
+#ifndef DPDPU_HW_MACHINE_H_
+#define DPDPU_HW_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "hw/accelerator.h"
+#include "hw/cpu.h"
+#include "hw/link.h"
+#include "hw/memory.h"
+#include "hw/pcie_accelerator.h"
+#include "hw/ssd.h"
+#include "sim/simulator.h"
+
+namespace dpdpu::hw {
+
+/// DPU SoC description.
+struct DpuSpec {
+  std::string model;
+  CpuSpec cpu;
+  std::vector<AcceleratorSpec> accelerators;
+  NicSpec nic;
+  PcieSpec pcie;
+  uint64_t memory_bytes = 16ull << 30;
+  /// BF-3 style generic code offloading to NIC cores; most other DPUs only
+  /// support match-action offloading (paper Section 1, Challenge #3).
+  bool generic_nic_core_offload = false;
+  /// Onboard fast persistent device for the Section 9 fast-persistence
+  /// design; zero write latency disables it.
+  uint64_t log_device_write_latency_ns = 0;
+  double log_device_bytes_per_sec = 0;
+
+  bool HasAccelerator(AcceleratorKind kind) const;
+};
+
+/// A complete storage/database server: host + DPU + SSD.
+struct ServerSpec {
+  std::string name = "server";
+  CpuSpec host_cpu;
+  uint64_t host_memory_bytes = 256ull << 30;
+  DpuSpec dpu;
+  SsdSpec ssd;
+  /// Optional PCIe-attached GPU/FPGA-class accelerator (Section 5).
+  std::optional<PcieAcceleratorSpec> pcie_accelerator;
+};
+
+/// Preset specs (constants from hw/calibration.h).
+DpuSpec BlueField2Spec();
+DpuSpec BlueField3Spec();
+DpuSpec IntelIpuLikeSpec();
+CpuSpec HostEpycSpec(uint32_t cores = 0);  // 0 = calibrated default
+ServerSpec DefaultServerSpec(std::string name = "server");
+ServerSpec MakeServerSpec(std::string name, DpuSpec dpu);
+
+/// Instantiated server: owns the simulation resources for one machine.
+class Server {
+ public:
+  Server(sim::Simulator* sim, ServerSpec spec);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const ServerSpec& spec() const { return spec_; }
+  sim::Simulator* simulator() const { return sim_; }
+
+  CpuCluster& host_cpu() { return *host_cpu_; }
+  CpuCluster& dpu_cpu() { return *dpu_cpu_; }
+
+  /// Returns the accelerator of `kind`, or nullptr when this DPU lacks it
+  /// (the heterogeneity case DP kernels must survive).
+  Accelerator* accelerator(AcceleratorKind kind);
+
+  NicPort& nic_tx() { return *nic_tx_; }
+  PcieLink& pcie() { return *pcie_; }
+  SsdDevice& ssd() { return *ssd_; }
+
+  /// Onboard fast log device; nullptr when the spec disables it.
+  SsdDevice* dpu_log_device() { return dpu_log_.get(); }
+
+  /// PCIe GPU/FPGA-class accelerator; nullptr when the spec has none.
+  PcieAccelerator* pcie_accelerator() { return pcie_accel_.get(); }
+
+  MemoryPool& host_memory() { return host_memory_; }
+  MemoryPool& dpu_memory() { return dpu_memory_; }
+
+ private:
+  ServerSpec spec_;
+  sim::Simulator* sim_;
+  std::unique_ptr<CpuCluster> host_cpu_;
+  std::unique_ptr<CpuCluster> dpu_cpu_;
+  std::vector<std::unique_ptr<Accelerator>> accelerators_;
+  std::unique_ptr<NicPort> nic_tx_;
+  std::unique_ptr<PcieLink> pcie_;
+  std::unique_ptr<SsdDevice> ssd_;
+  std::unique_ptr<SsdDevice> dpu_log_;
+  std::unique_ptr<PcieAccelerator> pcie_accel_;
+  MemoryPool host_memory_;
+  MemoryPool dpu_memory_;
+};
+
+}  // namespace dpdpu::hw
+
+#endif  // DPDPU_HW_MACHINE_H_

@@ -1,0 +1,51 @@
+// Memory capacity accounting. The paper's Section 7 stresses that DPU
+// memory (16 GB on BF-2) is an order of magnitude too small for some
+// offloads; MemoryPool makes that constraint explicit so the Storage
+// Engine's partial-offload policy has something real to push against.
+
+#ifndef DPDPU_HW_MEMORY_H_
+#define DPDPU_HW_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpdpu::hw {
+
+/// Tracks allocated bytes against a fixed capacity.
+class MemoryPool {
+ public:
+  MemoryPool(std::string name, uint64_t capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_; }
+  uint64_t available() const { return capacity_ - used_; }
+  uint64_t peak_used() const { return peak_used_; }
+
+  /// Reserves `bytes`; fails with ResourceExhausted when it does not fit.
+  Status Allocate(uint64_t bytes) {
+    if (bytes > available()) {
+      return Status::ResourceExhausted(name_ + ": out of memory");
+    }
+    used_ += bytes;
+    if (used_ > peak_used_) peak_used_ = used_;
+    return Status::Ok();
+  }
+
+  void Free(uint64_t bytes) {
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+
+ private:
+  std::string name_;
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  uint64_t peak_used_ = 0;
+};
+
+}  // namespace dpdpu::hw
+
+#endif  // DPDPU_HW_MEMORY_H_

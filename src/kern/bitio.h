@@ -1,0 +1,113 @@
+// LSB-first bit I/O as used by the DEFLATE wire format (RFC 1951 §3.1.1):
+// bits fill each byte starting from its least significant bit.
+
+#ifndef DPDPU_KERN_BITIO_H_
+#define DPDPU_KERN_BITIO_H_
+
+#include <cstdint>
+
+#include "common/buffer.h"
+
+namespace dpdpu::kern {
+
+/// Accumulates bits LSB-first into a Buffer.
+class BitWriter {
+ public:
+  explicit BitWriter(Buffer* out) : out_(out) {}
+
+  /// Writes the low `count` bits of `bits`, LSB-first. count in [0, 32].
+  void WriteBits(uint32_t bits, int count) {
+    acc_ |= uint64_t(bits & ((count == 32) ? 0xFFFFFFFFu
+                                           : ((1u << count) - 1u)))
+            << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_->AppendU8(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Writes a Huffman code: DEFLATE transmits codes MSB-first, so the
+  /// canonical code value is bit-reversed before the LSB-first write.
+  void WriteHuffmanCode(uint32_t code, int length) {
+    uint32_t reversed = 0;
+    for (int i = 0; i < length; ++i) {
+      reversed = (reversed << 1) | ((code >> i) & 1u);
+    }
+    WriteBits(reversed, length);
+  }
+
+  /// Pads with zero bits to the next byte boundary.
+  void AlignToByte() {
+    if (filled_ > 0) {
+      out_->AppendU8(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  /// Bits currently pending (for size accounting).
+  int pending_bits() const { return filled_; }
+
+ private:
+  Buffer* out_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+/// Consumes bits LSB-first from a ByteSpan.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan in) : in_(in) {}
+
+  /// Reads `count` bits (0..32) into *out. Returns false on underflow.
+  bool ReadBits(int count, uint32_t* out) {
+    while (filled_ < count) {
+      if (pos_ >= in_.size()) return false;
+      acc_ |= uint64_t(in_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    *out = static_cast<uint32_t>(
+        acc_ & ((count == 32) ? 0xFFFFFFFFull : ((1ull << count) - 1)));
+    acc_ >>= count;
+    filled_ -= count;
+    return true;
+  }
+
+  /// Reads a single bit.
+  bool ReadBit(uint32_t* out) { return ReadBits(1, out); }
+
+  /// Discards buffered bits to realign at the next byte boundary.
+  void AlignToByte() {
+    int drop = filled_ % 8;
+    acc_ >>= drop;
+    filled_ -= drop;
+  }
+
+  /// Reads a whole byte after alignment. Returns false on underflow.
+  bool ReadAlignedByte(uint8_t* out) {
+    if (filled_ >= 8) {
+      *out = static_cast<uint8_t>(acc_);
+      acc_ >>= 8;
+      filled_ -= 8;
+      return true;
+    }
+    if (pos_ >= in_.size()) return false;
+    *out = in_[pos_++];
+    return true;
+  }
+
+  /// Bytes not yet pulled into the accumulator.
+  size_t bytes_remaining() const { return in_.size() - pos_; }
+
+ private:
+  ByteSpan in_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_BITIO_H_

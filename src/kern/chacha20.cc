@@ -1,0 +1,82 @@
+#include "kern/chacha20.h"
+
+#include <bit>
+#include <cstring>
+
+namespace dpdpu::kern {
+
+namespace {
+
+inline uint32_t Load32(const uint8_t* p) {
+  return uint32_t(p[0]) | uint32_t(p[1]) << 8 | uint32_t(p[2]) << 16 |
+         uint32_t(p[3]) << 24;
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+void BlockInto(const std::array<uint8_t, kChaCha20KeyBytes>& key,
+               const std::array<uint8_t, kChaCha20NonceBytes>& nonce,
+               uint32_t counter, uint8_t out[64]) {
+  uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+      Load32(&key[0]),  Load32(&key[4]),  Load32(&key[8]),  Load32(&key[12]),
+      Load32(&key[16]), Load32(&key[20]), Load32(&key[24]), Load32(&key[28]),
+      counter, Load32(&nonce[0]), Load32(&nonce[4]), Load32(&nonce[8])};
+  uint32_t w[16];
+  std::memcpy(w, state, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = w[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20Block(
+    const std::array<uint8_t, kChaCha20KeyBytes>& key,
+    const std::array<uint8_t, kChaCha20NonceBytes>& nonce, uint32_t counter) {
+  std::array<uint8_t, 64> out;
+  BlockInto(key, nonce, counter, out.data());
+  return out;
+}
+
+Buffer ChaCha20Xor(const std::array<uint8_t, kChaCha20KeyBytes>& key,
+                   const std::array<uint8_t, kChaCha20NonceBytes>& nonce,
+                   uint32_t counter, ByteSpan input) {
+  Buffer out(input.size());
+  uint8_t keystream[64];
+  size_t pos = 0;
+  while (pos < input.size()) {
+    BlockInto(key, nonce, counter++, keystream);
+    size_t n = std::min<size_t>(64, input.size() - pos);
+    for (size_t i = 0; i < n; ++i) {
+      out[pos + i] = input[pos + i] ^ keystream[i];
+    }
+    pos += n;
+  }
+  return out;
+}
+
+}  // namespace dpdpu::kern

@@ -1,0 +1,32 @@
+// ChaCha20 stream cipher (RFC 8439), the encryption DP kernel. Encryption
+// and decryption are the same XOR-keystream operation.
+
+#ifndef DPDPU_KERN_CHACHA20_H_
+#define DPDPU_KERN_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/result.h"
+
+namespace dpdpu::kern {
+
+inline constexpr size_t kChaCha20KeyBytes = 32;
+inline constexpr size_t kChaCha20NonceBytes = 12;
+
+/// Encrypts (or decrypts) `input` with the given key/nonce, starting at
+/// block `counter` (RFC 8439 uses 1 for the first data block of an AEAD
+/// message; plain stream usage commonly starts at 0).
+Buffer ChaCha20Xor(const std::array<uint8_t, kChaCha20KeyBytes>& key,
+                   const std::array<uint8_t, kChaCha20NonceBytes>& nonce,
+                   uint32_t counter, ByteSpan input);
+
+/// Exposes a single 64-byte keystream block (for test vectors).
+std::array<uint8_t, 64> ChaCha20Block(
+    const std::array<uint8_t, kChaCha20KeyBytes>& key,
+    const std::array<uint8_t, kChaCha20NonceBytes>& nonce, uint32_t counter);
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_CHACHA20_H_

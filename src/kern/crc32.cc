@@ -1,0 +1,39 @@
+#include "kern/crc32.h"
+
+#include <array>
+
+namespace dpdpu::kern {
+
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, ByteSpan data) {
+  const auto& table = Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (uint8_t b : data) {
+    c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(ByteSpan data) { return Crc32Update(0, data); }
+
+}  // namespace dpdpu::kern

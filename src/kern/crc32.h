@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum DP
+// kernel used by the storage and network substrates for integrity checks.
+
+#ifndef DPDPU_KERN_CRC32_H_
+#define DPDPU_KERN_CRC32_H_
+
+#include <cstdint>
+
+#include "common/buffer.h"
+
+namespace dpdpu::kern {
+
+/// One-shot CRC-32 of `data`.
+uint32_t Crc32(ByteSpan data);
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, ByteSpan data);
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_CRC32_H_

@@ -1,0 +1,70 @@
+// Content-defined chunking and deduplication — the workload of the
+// BlueField-2 dedup ASIC. Rabin-style rolling hash picks chunk boundaries
+// from content, so identical regions dedup even after insertions shift
+// their offsets.
+
+#ifndef DPDPU_KERN_DEDUP_H_
+#define DPDPU_KERN_DEDUP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace dpdpu::kern {
+
+struct ChunkerOptions {
+  size_t min_size = 2048;
+  /// Expected chunk size; must be a power of two (boundary mask).
+  size_t avg_size = 8192;
+  size_t max_size = 65536;
+};
+
+struct Chunk {
+  size_t offset;
+  size_t size;
+  uint64_t fingerprint;  // FNV-1a 64 of the chunk contents
+};
+
+/// Splits `data` into content-defined chunks.
+std::vector<Chunk> ChunkData(ByteSpan data, const ChunkerOptions& options = {});
+
+/// FNV-1a 64-bit content fingerprint.
+uint64_t Fingerprint64(ByteSpan data);
+
+struct DedupStats {
+  uint64_t total_bytes = 0;
+  uint64_t unique_bytes = 0;
+  uint64_t total_chunks = 0;
+  uint64_t unique_chunks = 0;
+
+  /// total/unique; 1.0 means nothing deduplicated.
+  double Ratio() const {
+    return unique_bytes == 0 ? 1.0
+                             : double(total_bytes) / double(unique_bytes);
+  }
+};
+
+/// Accumulates chunk fingerprints across Add() calls and reports the
+/// cumulative dedup ratio.
+class DedupIndex {
+ public:
+  explicit DedupIndex(ChunkerOptions options = {})
+      : options_(options) {}
+
+  /// Chunks `data`, records fingerprints, returns cumulative stats.
+  DedupStats Add(ByteSpan data);
+
+  const DedupStats& stats() const { return stats_; }
+
+ private:
+  ChunkerOptions options_;
+  DedupStats stats_;
+  std::unordered_map<uint64_t, uint32_t> seen_;
+};
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_DEDUP_H_

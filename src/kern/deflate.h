@@ -1,0 +1,36 @@
+// DEFLATE (RFC 1951) compression and decompression — the paper's Figure 1
+// workload ("the lossless DEFLATE algorithm"). This is a from-scratch,
+// fully self-contained implementation: LZ77 with hash-chain match search
+// and lazy evaluation, optimal length-limited (package-merge) dynamic
+// Huffman codes, and per-block stored/fixed/dynamic selection. The
+// decoder handles all three block types and validates streams defensively
+// (Status::Corruption on malformed input).
+
+#ifndef DPDPU_KERN_DEFLATE_H_
+#define DPDPU_KERN_DEFLATE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/result.h"
+
+namespace dpdpu::kern {
+
+struct DeflateOptions {
+  /// 1 (fastest) .. 9 (best ratio); controls match-search effort.
+  int level = 6;
+};
+
+/// Compresses `input` into a raw DEFLATE stream (no zlib/gzip wrapper).
+Result<Buffer> DeflateCompress(ByteSpan input,
+                               const DeflateOptions& options = {});
+
+/// Decompresses a raw DEFLATE stream. `max_output` bounds memory for
+/// untrusted inputs; exceeding it fails with ResourceExhausted.
+Result<Buffer> DeflateDecompress(ByteSpan input,
+                                 size_t max_output = size_t(1) << 31);
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_DEFLATE_H_

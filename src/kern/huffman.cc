@@ -1,0 +1,179 @@
+#include "kern/huffman.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace dpdpu::kern {
+
+namespace {
+
+// Package-merge working node: a leaf (symbol) or a package of two nodes.
+struct PmNode {
+  uint64_t weight;
+  int symbol;  // >= 0 for leaves, -1 for packages
+  int left = -1;
+  int right = -1;
+};
+
+// Recursively counts leaf occurrences in a package tree.
+void CountLeaves(const std::vector<PmNode>& arena, int idx,
+                 std::vector<uint8_t>* lengths) {
+  const PmNode& n = arena[idx];
+  if (n.symbol >= 0) {
+    ++(*lengths)[n.symbol];
+    return;
+  }
+  CountLeaves(arena, n.left, lengths);
+  CountLeaves(arena, n.right, lengths);
+}
+
+}  // namespace
+
+std::vector<uint8_t> PackageMergeLengths(const std::vector<uint64_t>& freqs,
+                                         int max_bits) {
+  const size_t n = freqs.size();
+  std::vector<uint8_t> lengths(n, 0);
+
+  // Collect used symbols.
+  std::vector<int> used;
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) used.push_back(static_cast<int>(i));
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+  DPDPU_CHECK((size_t(1) << max_bits) >= used.size());
+
+  // Leaves sorted by weight (stable on symbol for determinism).
+  std::vector<PmNode> arena;
+  std::vector<int> leaves;  // arena indices, sorted by weight
+  for (int s : used) {
+    arena.push_back(PmNode{freqs[s], s});
+    leaves.push_back(static_cast<int>(arena.size()) - 1);
+  }
+  std::sort(leaves.begin(), leaves.end(), [&](int a, int b) {
+    if (arena[a].weight != arena[b].weight)
+      return arena[a].weight < arena[b].weight;
+    return arena[a].symbol < arena[b].symbol;
+  });
+
+  // Iterate max_bits levels: list = merge(leaves, package(list)).
+  std::vector<int> list = leaves;
+  for (int level = 1; level < max_bits; ++level) {
+    // Package adjacent pairs.
+    std::vector<int> packaged;
+    for (size_t i = 0; i + 1 < list.size(); i += 2) {
+      arena.push_back(PmNode{arena[list[i]].weight + arena[list[i + 1]].weight,
+                             -1, list[i], list[i + 1]});
+      packaged.push_back(static_cast<int>(arena.size()) - 1);
+    }
+    // Merge with fresh leaves (both sorted by weight).
+    std::vector<int> merged;
+    merged.reserve(leaves.size() + packaged.size());
+    size_t a = 0, b = 0;
+    while (a < leaves.size() || b < packaged.size()) {
+      bool take_leaf;
+      if (a == leaves.size()) {
+        take_leaf = false;
+      } else if (b == packaged.size()) {
+        take_leaf = true;
+      } else {
+        take_leaf = arena[leaves[a]].weight <= arena[packaged[b]].weight;
+      }
+      merged.push_back(take_leaf ? leaves[a++] : packaged[b++]);
+    }
+    list = std::move(merged);
+  }
+
+  // The first 2m-2 items of the final list define the code: each leaf
+  // occurrence adds one to its symbol's code length.
+  size_t take = 2 * used.size() - 2;
+  DPDPU_CHECK(take <= list.size());
+  for (size_t i = 0; i < take; ++i) {
+    CountLeaves(arena, list[i], &lengths);
+  }
+  return lengths;
+}
+
+std::vector<uint32_t> CanonicalCodes(const std::vector<uint8_t>& lengths) {
+  std::vector<uint32_t> codes(lengths.size(), 0);
+  std::vector<uint32_t> bl_count(kMaxHuffmanBits + 1, 0);
+  for (uint8_t len : lengths) {
+    if (len > 0) ++bl_count[len];
+  }
+  std::vector<uint32_t> next_code(kMaxHuffmanBits + 2, 0);
+  uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxHuffmanBits; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) codes[i] = next_code[lengths[i]]++;
+  }
+  return codes;
+}
+
+Result<HuffmanDecoder> HuffmanDecoder::Build(
+    const std::vector<uint8_t>& lengths) {
+  HuffmanDecoder d;
+  d.count_.assign(kMaxHuffmanBits + 1, 0);
+  for (uint8_t len : lengths) {
+    if (len > kMaxHuffmanBits) {
+      return Status::InvalidArgument("huffman: length exceeds 15");
+    }
+    if (len > 0) ++d.count_[len];
+  }
+
+  // Reject over-subscribed codes (Kraft sum > 1).
+  int64_t left = 1;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    left <<= 1;
+    left -= d.count_[len];
+    if (left < 0) {
+      return Status::Corruption("huffman: over-subscribed code lengths");
+    }
+  }
+
+  // Offsets of first symbol of each length in the canonical ordering.
+  std::vector<uint16_t> offsets(kMaxHuffmanBits + 2, 0);
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    offsets[len + 1] = offsets[len] + d.count_[len];
+  }
+  d.symbols_.assign(offsets[kMaxHuffmanBits + 1], 0);
+  std::vector<uint16_t> pos(offsets.begin(), offsets.end());
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) {
+      d.symbols_[pos[lengths[s]]++] = static_cast<uint16_t>(s);
+    }
+  }
+  return d;
+}
+
+Status HuffmanDecoder::Decode(BitReader& reader, int* symbol) const {
+  // Canonical bit-at-a-time decode (puff-style).
+  uint32_t code = 0;
+  uint32_t first = 0;
+  uint32_t index = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    uint32_t bit;
+    if (!reader.ReadBit(&bit)) {
+      return Status::Corruption("huffman: truncated stream");
+    }
+    code |= bit;
+    uint32_t count = count_[len];
+    if (code < first + count) {
+      *symbol = symbols_[index + (code - first)];
+      return Status::Ok();
+    }
+    index += count;
+    first = (first + count) << 1;
+    code <<= 1;
+  }
+  return Status::Corruption("huffman: unassigned code in stream");
+}
+
+}  // namespace dpdpu::kern

@@ -1,0 +1,57 @@
+// Canonical Huffman coding utilities shared by the DEFLATE encoder and
+// decoder: optimal length-limited code construction (package-merge),
+// canonical code assignment (RFC 1951 §3.2.2), and a canonical decoder.
+
+#ifndef DPDPU_KERN_HUFFMAN_H_
+#define DPDPU_KERN_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kern/bitio.h"
+
+namespace dpdpu::kern {
+
+/// Maximum code length permitted by DEFLATE for litlen/dist codes.
+inline constexpr int kMaxHuffmanBits = 15;
+
+/// Computes optimal length-limited code lengths for the given symbol
+/// frequencies using the package-merge algorithm. Symbols with zero
+/// frequency get length 0. A single used symbol gets length 1. Requires
+/// 2^max_bits >= number of used symbols.
+std::vector<uint8_t> PackageMergeLengths(const std::vector<uint64_t>& freqs,
+                                         int max_bits);
+
+/// Assigns canonical code values from code lengths per RFC 1951 §3.2.2.
+/// codes[i] is valid when lengths[i] > 0.
+std::vector<uint32_t> CanonicalCodes(const std::vector<uint8_t>& lengths);
+
+/// Canonical Huffman decoder over LSB-first DEFLATE bit streams.
+/// Tolerates incomplete codes: decoding fails only when the stream
+/// actually presents an unassigned code (RFC permits unused incomplete
+/// distance codes).
+class HuffmanDecoder {
+ public:
+  /// Default instance decodes nothing; assign from Build().
+  HuffmanDecoder() = default;
+
+  /// Builds from code lengths; fails on over-subscribed codes.
+  static Result<HuffmanDecoder> Build(const std::vector<uint8_t>& lengths);
+
+  /// Decodes one symbol. Fails on underflow or unassigned code.
+  Status Decode(BitReader& reader, int* symbol) const;
+
+  /// Number of symbols with non-zero length.
+  int used_symbols() const { return static_cast<int>(symbols_.size()); }
+
+ private:
+  // count_[l]: number of codes of length l; symbols_ sorted canonically.
+  std::vector<uint16_t> count_;
+  std::vector<uint16_t> symbols_;
+};
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_HUFFMAN_H_

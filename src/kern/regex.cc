@@ -1,0 +1,515 @@
+#include "kern/regex.h"
+
+#include <memory>
+
+namespace dpdpu::kern {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST.
+// ---------------------------------------------------------------------------
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+enum class NodeKind {
+  kClass,       // single character class
+  kConcat,      // left then right
+  kAlternate,   // left | right
+  kStar,        // left*  (greedy)
+  kPlus,        // left+
+  kQuestion,    // left?
+  kEmpty,       // matches empty string
+  kAssertBegin, // ^
+  kAssertEnd,   // $
+};
+
+struct Node {
+  NodeKind kind;
+  std::bitset<256> char_class;
+  NodePtr left;
+  NodePtr right;
+
+  NodePtr Clone() const {
+    auto n = std::make_unique<Node>();
+    n->kind = kind;
+    n->char_class = char_class;
+    if (left) n->left = left->Clone();
+    if (right) n->right = right->Clone();
+    return n;
+  }
+};
+
+NodePtr MakeNode(NodeKind kind) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  return n;
+}
+
+NodePtr MakeClass(std::bitset<256> cls) {
+  auto n = MakeNode(NodeKind::kClass);
+  n->char_class = cls;
+  return n;
+}
+
+NodePtr MakeBinary(NodeKind kind, NodePtr l, NodePtr r) {
+  auto n = MakeNode(kind);
+  n->left = std::move(l);
+  n->right = std::move(r);
+  return n;
+}
+
+NodePtr MakeUnary(NodeKind kind, NodePtr l) {
+  auto n = MakeNode(kind);
+  n->left = std::move(l);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent).
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : p_(pattern) {}
+
+  Result<NodePtr> Parse() {
+    DPDPU_ASSIGN_OR_RETURN(NodePtr node, ParseAlternate());
+    if (!AtEnd()) {
+      return Status::InvalidArgument("regex: unexpected ')' or trailing input");
+    }
+    return node;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= p_.size(); }
+  char Peek() const { return p_[pos_]; }
+  char Take() { return p_[pos_++]; }
+
+  Result<NodePtr> ParseAlternate() {
+    DPDPU_ASSIGN_OR_RETURN(NodePtr left, ParseConcat());
+    while (!AtEnd() && Peek() == '|') {
+      Take();
+      DPDPU_ASSIGN_OR_RETURN(NodePtr right, ParseConcat());
+      left = MakeBinary(NodeKind::kAlternate, std::move(left),
+                        std::move(right));
+    }
+    return left;
+  }
+
+  Result<NodePtr> ParseConcat() {
+    NodePtr node;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      DPDPU_ASSIGN_OR_RETURN(NodePtr atom, ParseRepeat());
+      node = node ? MakeBinary(NodeKind::kConcat, std::move(node),
+                               std::move(atom))
+                  : std::move(atom);
+    }
+    if (!node) node = MakeNode(NodeKind::kEmpty);
+    return node;
+  }
+
+  Result<NodePtr> ParseRepeat() {
+    DPDPU_ASSIGN_OR_RETURN(NodePtr atom, ParseAtom());
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '*') {
+        Take();
+        atom = MakeUnary(NodeKind::kStar, std::move(atom));
+      } else if (c == '+') {
+        Take();
+        atom = MakeUnary(NodeKind::kPlus, std::move(atom));
+      } else if (c == '?') {
+        Take();
+        atom = MakeUnary(NodeKind::kQuestion, std::move(atom));
+      } else if (c == '{') {
+        DPDPU_ASSIGN_OR_RETURN(atom, ParseBrace(std::move(atom)));
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  // {m}, {m,}, {m,n} with m,n <= 100 (expansion-based compilation).
+  Result<NodePtr> ParseBrace(NodePtr atom) {
+    Take();  // '{'
+    int m = 0;
+    bool have_digit = false;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      m = m * 10 + (Take() - '0');
+      have_digit = true;
+      if (m > 100) return Status::InvalidArgument("regex: {m,n} too large");
+    }
+    if (!have_digit) return Status::InvalidArgument("regex: bad {} count");
+    int n = m;
+    bool unbounded = false;
+    if (!AtEnd() && Peek() == ',') {
+      Take();
+      if (!AtEnd() && Peek() == '}') {
+        unbounded = true;
+      } else {
+        n = 0;
+        while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+          n = n * 10 + (Take() - '0');
+          if (n > 100) return Status::InvalidArgument("regex: {m,n} too large");
+        }
+        if (n < m) return Status::InvalidArgument("regex: {m,n} with n < m");
+      }
+    }
+    if (AtEnd() || Take() != '}') {
+      return Status::InvalidArgument("regex: unterminated {}");
+    }
+    // Expand: m mandatory copies, then (n - m) optional or a star.
+    NodePtr out;
+    for (int i = 0; i < m; ++i) {
+      NodePtr copy = atom->Clone();
+      out = out ? MakeBinary(NodeKind::kConcat, std::move(out),
+                             std::move(copy))
+                : std::move(copy);
+    }
+    if (unbounded) {
+      NodePtr star = MakeUnary(NodeKind::kStar, atom->Clone());
+      out = out ? MakeBinary(NodeKind::kConcat, std::move(out),
+                             std::move(star))
+                : std::move(star);
+    } else {
+      for (int i = m; i < n; ++i) {
+        NodePtr opt = MakeUnary(NodeKind::kQuestion, atom->Clone());
+        out = out ? MakeBinary(NodeKind::kConcat, std::move(out),
+                               std::move(opt))
+                  : std::move(opt);
+      }
+    }
+    if (!out) out = MakeNode(NodeKind::kEmpty);  // {0}
+    return out;
+  }
+
+  Result<NodePtr> ParseAtom() {
+    char c = Take();
+    switch (c) {
+      case '(': {
+        DPDPU_ASSIGN_OR_RETURN(NodePtr inner, ParseAlternate());
+        if (AtEnd() || Take() != ')') {
+          return Status::InvalidArgument("regex: unbalanced parenthesis");
+        }
+        return inner;
+      }
+      case '[':
+        return ParseClass();
+      case '.': {
+        std::bitset<256> any;
+        any.set();
+        any.reset('\n');
+        return MakeClass(any);
+      }
+      case '^':
+        return MakeNode(NodeKind::kAssertBegin);
+      case '$':
+        return MakeNode(NodeKind::kAssertEnd);
+      case '\\':
+        return ParseEscape();
+      case '*':
+      case '+':
+      case '?':
+        return Status::InvalidArgument("regex: quantifier with no operand");
+      case ')':
+        return Status::InvalidArgument("regex: unmatched ')'");
+      default: {
+        std::bitset<256> cls;
+        cls.set(static_cast<uint8_t>(c));
+        return MakeClass(cls);
+      }
+    }
+  }
+
+  static void SetRange(std::bitset<256>& cls, uint8_t lo, uint8_t hi) {
+    for (int c = lo; c <= hi; ++c) cls.set(c);
+  }
+
+  static bool EscapeClass(char c, std::bitset<256>& cls) {
+    switch (c) {
+      case 'd':
+        SetRange(cls, '0', '9');
+        return true;
+      case 'w':
+        SetRange(cls, 'a', 'z');
+        SetRange(cls, 'A', 'Z');
+        SetRange(cls, '0', '9');
+        cls.set('_');
+        return true;
+      case 's':
+        cls.set(' ');
+        cls.set('\t');
+        cls.set('\n');
+        cls.set('\r');
+        cls.set('\f');
+        cls.set('\v');
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<NodePtr> ParseEscape() {
+    if (AtEnd()) return Status::InvalidArgument("regex: trailing backslash");
+    char c = Take();
+    std::bitset<256> cls;
+    if (EscapeClass(c, cls)) return MakeClass(cls);
+    if (c == 'D' || c == 'W' || c == 'S') {
+      std::bitset<256> inner;
+      EscapeClass(static_cast<char>(c - 'A' + 'a'), inner);
+      return MakeClass(~inner);
+    }
+    switch (c) {
+      case 'n':
+        cls.set('\n');
+        return MakeClass(cls);
+      case 't':
+        cls.set('\t');
+        return MakeClass(cls);
+      case 'r':
+        cls.set('\r');
+        return MakeClass(cls);
+      default:
+        // Escaped literal (covers metacharacters and \\).
+        cls.set(static_cast<uint8_t>(c));
+        return MakeClass(cls);
+    }
+  }
+
+  Result<NodePtr> ParseClass() {
+    std::bitset<256> cls;
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      Take();
+      negate = true;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) return Status::InvalidArgument("regex: unterminated [");
+      char c = Take();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (AtEnd()) return Status::InvalidArgument("regex: bad class escape");
+        char e = Take();
+        std::bitset<256> sub;
+        if (EscapeClass(e, sub)) {
+          cls |= sub;
+          continue;
+        }
+        switch (e) {
+          case 'n':
+            cls.set('\n');
+            continue;
+          case 't':
+            cls.set('\t');
+            continue;
+          case 'r':
+            cls.set('\r');
+            continue;
+          default:
+            c = e;  // escaped literal; may start a range below
+        }
+      }
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < p_.size() &&
+          p_[pos_ + 1] != ']') {
+        Take();  // '-'
+        char hi = Take();
+        if (hi == '\\') {
+          if (AtEnd()) return Status::InvalidArgument("regex: bad range");
+          hi = Take();
+        }
+        if (static_cast<uint8_t>(hi) < static_cast<uint8_t>(c)) {
+          return Status::InvalidArgument("regex: inverted class range");
+        }
+        SetRange(cls, static_cast<uint8_t>(c), static_cast<uint8_t>(hi));
+      } else {
+        cls.set(static_cast<uint8_t>(c));
+      }
+    }
+    return MakeClass(negate ? ~cls : cls);
+  }
+
+  std::string_view p_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation: AST -> instruction list.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CompileState {
+  std::vector<std::bitset<256>>* classes;
+};
+
+}  // namespace
+
+Result<Regex> Regex::Compile(std::string_view pattern) {
+  Parser parser(pattern);
+  DPDPU_ASSIGN_OR_RETURN(NodePtr root, parser.Parse());
+
+  Regex re;
+  re.pattern_ = std::string(pattern);
+
+  // Emit instructions via an explicit recursion (lambda).
+  struct Emitter {
+    Regex* re;
+    void Emit(const Node& n) {
+      switch (n.kind) {
+        case NodeKind::kClass: {
+          int cls = static_cast<int>(re->classes_.size());
+          re->classes_.push_back(n.char_class);
+          re->program_.push_back(Inst{Op::kChar, cls, 0});
+          break;
+        }
+        case NodeKind::kConcat:
+          Emit(*n.left);
+          Emit(*n.right);
+          break;
+        case NodeKind::kAlternate: {
+          size_t split = re->program_.size();
+          re->program_.push_back(Inst{Op::kSplit, 0, 0});
+          Emit(*n.left);
+          size_t jump = re->program_.size();
+          re->program_.push_back(Inst{Op::kJump, 0, 0});
+          re->program_[split].x = static_cast<int>(split + 1);
+          re->program_[split].y = static_cast<int>(re->program_.size());
+          Emit(*n.right);
+          re->program_[jump].x = static_cast<int>(re->program_.size());
+          break;
+        }
+        case NodeKind::kStar: {
+          size_t split = re->program_.size();
+          re->program_.push_back(Inst{Op::kSplit, 0, 0});
+          Emit(*n.left);
+          re->program_.push_back(
+              Inst{Op::kJump, static_cast<int>(split), 0});
+          re->program_[split].x = static_cast<int>(split + 1);
+          re->program_[split].y = static_cast<int>(re->program_.size());
+          break;
+        }
+        case NodeKind::kPlus: {
+          size_t body = re->program_.size();
+          Emit(*n.left);
+          size_t split = re->program_.size();
+          re->program_.push_back(Inst{Op::kSplit, static_cast<int>(body),
+                                      static_cast<int>(split + 1)});
+          break;
+        }
+        case NodeKind::kQuestion: {
+          size_t split = re->program_.size();
+          re->program_.push_back(Inst{Op::kSplit, 0, 0});
+          Emit(*n.left);
+          re->program_[split].x = static_cast<int>(split + 1);
+          re->program_[split].y = static_cast<int>(re->program_.size());
+          break;
+        }
+        case NodeKind::kEmpty:
+          break;
+        case NodeKind::kAssertBegin:
+          re->program_.push_back(Inst{Op::kAssertBegin, 0, 0});
+          break;
+        case NodeKind::kAssertEnd:
+          re->program_.push_back(Inst{Op::kAssertEnd, 0, 0});
+          break;
+      }
+    }
+  };
+  Emitter{&re}.Emit(*root);
+  re.program_.push_back(Inst{Op::kMatch, 0, 0});
+  return re;
+}
+
+// ---------------------------------------------------------------------------
+// Pike VM execution.
+// ---------------------------------------------------------------------------
+
+void Regex::AddThread(std::vector<int>& list, std::vector<uint32_t>& mark,
+                      uint32_t gen, int pc, size_t pos, size_t len) const {
+  if (mark[pc] == gen) return;
+  mark[pc] = gen;
+  const Inst& inst = program_[pc];
+  switch (inst.op) {
+    case Op::kJump:
+      AddThread(list, mark, gen, inst.x, pos, len);
+      break;
+    case Op::kSplit:
+      AddThread(list, mark, gen, inst.x, pos, len);
+      AddThread(list, mark, gen, inst.y, pos, len);
+      break;
+    case Op::kAssertBegin:
+      if (pos == 0) AddThread(list, mark, gen, pc + 1, pos, len);
+      break;
+    case Op::kAssertEnd:
+      if (pos == len) AddThread(list, mark, gen, pc + 1, pos, len);
+      break;
+    default:
+      list.push_back(pc);
+      break;
+  }
+}
+
+ptrdiff_t Regex::RunFrom(std::string_view text, size_t start) const {
+  std::vector<int> current, next;
+  std::vector<uint32_t> mark(program_.size(), 0);
+  uint32_t gen = 1;
+  ptrdiff_t best_end = -1;
+
+  AddThread(current, mark, gen, 0, start, text.size());
+  for (size_t pos = start;; ++pos) {
+    // Check for match threads at this position.
+    for (int pc : current) {
+      if (program_[pc].op == Op::kMatch) {
+        best_end = static_cast<ptrdiff_t>(pos);
+      }
+    }
+    if (pos >= text.size() || current.empty()) break;
+    uint8_t c = static_cast<uint8_t>(text[pos]);
+    ++gen;
+    next.clear();
+    for (int pc : current) {
+      const Inst& inst = program_[pc];
+      if (inst.op == Op::kChar && classes_[inst.x].test(c)) {
+        AddThread(next, mark, gen, pc + 1, pos + 1, text.size());
+      }
+    }
+    std::swap(current, next);
+  }
+  return best_end;
+}
+
+bool Regex::FullMatch(std::string_view text) const {
+  return RunFrom(text, 0) == static_cast<ptrdiff_t>(text.size());
+}
+
+bool Regex::PartialMatch(std::string_view text) const {
+  for (size_t start = 0; start <= text.size(); ++start) {
+    if (RunFrom(text, start) >= 0) return true;
+  }
+  return false;
+}
+
+size_t Regex::CountMatches(std::string_view text) const {
+  size_t count = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    ptrdiff_t end = RunFrom(text, pos);
+    if (end < 0) {
+      ++pos;
+      continue;
+    }
+    ++count;
+    pos = (static_cast<size_t>(end) > pos) ? static_cast<size_t>(end)
+                                           : pos + 1;
+  }
+  return count;
+}
+
+}  // namespace dpdpu::kern

@@ -1,0 +1,69 @@
+// Regular expression DP kernel: a from-scratch Thompson-NFA engine with
+// Pike-VM execution (no backtracking, linear time in text length). Models
+// the BlueField-2 RegEx accelerator's workload; the same code runs when
+// the kernel is placed on a CPU.
+//
+// Supported syntax: literals, '.', escapes (\d \D \w \W \s \S \n \t \r and
+// escaped metacharacters), character classes [a-z0-9] and [^...],
+// alternation '|', groups '(...)', quantifiers '*' '+' '?' '{m}' '{m,}'
+// '{m,n}', anchors '^' and '$'.
+
+#ifndef DPDPU_KERN_REGEX_H_
+#define DPDPU_KERN_REGEX_H_
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpdpu::kern {
+
+class Regex {
+ public:
+  /// Compiles `pattern`; fails with InvalidArgument on syntax errors.
+  static Result<Regex> Compile(std::string_view pattern);
+
+  /// True when the entire text matches the pattern.
+  bool FullMatch(std::string_view text) const;
+
+  /// True when any substring matches ("search" semantics).
+  bool PartialMatch(std::string_view text) const;
+
+  /// Number of non-overlapping matches, scanning greedily left to right
+  /// (each match takes the longest extent from its start position).
+  size_t CountMatches(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+  size_t instruction_count() const { return program_.size(); }
+
+ private:
+  enum class Op : uint8_t { kChar, kSplit, kJump, kAssertBegin, kAssertEnd,
+                            kMatch };
+
+  struct Inst {
+    Op op;
+    int x = 0;  // kChar: class index; kSplit/kJump: target
+    int y = 0;  // kSplit: second target
+  };
+
+  Regex() = default;
+
+  // Pike-VM step machinery.
+  void AddThread(std::vector<int>& list, std::vector<uint32_t>& mark,
+                 uint32_t gen, int pc, size_t pos, size_t len) const;
+  // Runs the VM from a fixed start position; returns -1 when no match, or
+  // the longest match end offset.
+  ptrdiff_t RunFrom(std::string_view text, size_t start) const;
+
+  std::string pattern_;
+  std::vector<Inst> program_;
+  std::vector<std::bitset<256>> classes_;
+  bool anchored_begin_ = false;  // informational; anchors are instructions
+};
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_REGEX_H_

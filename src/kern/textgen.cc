@@ -1,0 +1,72 @@
+#include "kern/textgen.h"
+
+#include <string>
+#include <vector>
+
+namespace dpdpu::kern {
+
+namespace {
+
+// Builds a deterministic vocabulary with an English-like word length
+// distribution (2-12 characters, mode around 4-6).
+std::vector<std::string> BuildVocabulary(uint32_t size, Pcg32& rng) {
+  static const char* kSyllables[] = {
+      "an", "ba", "con", "da", "el", "fra", "gen", "hi", "in", "ju",
+      "ka", "lo", "men", "no", "or", "pre", "qua", "re", "sta", "tion",
+      "ur", "ver", "wa", "xi", "yo", "zu", "ing", "ed", "er", "ly"};
+  constexpr int kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+  std::vector<std::string> vocab;
+  vocab.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    int syllables = 1 + static_cast<int>(rng.NextBounded(3));
+    std::string w;
+    for (int s = 0; s < syllables; ++s) {
+      w += kSyllables[rng.NextBounded(kNumSyllables)];
+    }
+    vocab.push_back(std::move(w));
+  }
+  return vocab;
+}
+
+}  // namespace
+
+Buffer GenerateText(size_t bytes, const TextGenOptions& options) {
+  Pcg32 rng(options.seed);
+  std::vector<std::string> vocab = BuildVocabulary(options.vocabulary, rng);
+  ZipfGenerator zipf(options.vocabulary, options.zipf_theta);
+
+  Buffer out;
+  out.reserve(bytes + 64);
+  int words_in_sentence = 0;
+  int sentence_length = 6 + static_cast<int>(rng.NextBounded(12));
+  bool capitalize = true;
+  while (out.size() < bytes) {
+    const std::string& w = vocab[zipf.Next(rng)];
+    if (capitalize && !w.empty()) {
+      out.AppendU8(static_cast<uint8_t>(w[0] - 'a' + 'A'));
+      out.Append(std::string_view(w).substr(1));
+      capitalize = false;
+    } else {
+      out.Append(w);
+    }
+    if (++words_in_sentence >= sentence_length) {
+      out.Append(". ");
+      words_in_sentence = 0;
+      sentence_length = 6 + static_cast<int>(rng.NextBounded(12));
+      capitalize = true;
+    } else {
+      out.Append(" ");
+    }
+  }
+  out.resize(bytes);  // exact size: callers slice pages out of the text
+  return out;
+}
+
+Buffer GenerateRandomBytes(size_t bytes, uint64_t seed) {
+  Pcg32 rng(seed);
+  Buffer out(bytes);
+  FillRandomBytes(rng, out.data(), bytes);
+  return out;
+}
+
+}  // namespace dpdpu::kern

@@ -1,0 +1,33 @@
+// Deterministic synthetic "natural language" generator: Zipf-distributed
+// words from a synthetic vocabulary, with sentence structure. Stands in
+// for the paper's Figure 1 natural-language corpora (see DESIGN.md §1) —
+// compressible at ratios typical of English text.
+
+#ifndef DPDPU_KERN_TEXTGEN_H_
+#define DPDPU_KERN_TEXTGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/rng.h"
+
+namespace dpdpu::kern {
+
+struct TextGenOptions {
+  uint64_t seed = 1;
+  /// Vocabulary size; smaller means more repetition (higher ratio).
+  uint32_t vocabulary = 8192;
+  /// Zipf skew of word frequency (English is ~1.0; capped below 1).
+  double zipf_theta = 0.95;
+};
+
+/// Generates exactly `bytes` of text.
+Buffer GenerateText(size_t bytes, const TextGenOptions& options = {});
+
+/// Generates `bytes` of incompressible random payload.
+Buffer GenerateRandomBytes(size_t bytes, uint64_t seed = 1);
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_TEXTGEN_H_

@@ -1,0 +1,77 @@
+#include "kern/zlib_format.h"
+
+namespace dpdpu::kern {
+
+namespace {
+constexpr uint32_t kAdlerMod = 65521;
+}  // namespace
+
+uint32_t Adler32Update(uint32_t adler, ByteSpan data) {
+  uint32_t a = adler & 0xFFFF;
+  uint32_t b = (adler >> 16) & 0xFFFF;
+  size_t i = 0;
+  while (i < data.size()) {
+    // Process in chunks small enough that b cannot overflow 32 bits.
+    size_t chunk = std::min<size_t>(data.size() - i, 5552);
+    for (size_t j = 0; j < chunk; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= kAdlerMod;
+    b %= kAdlerMod;
+    i += chunk;
+  }
+  return (b << 16) | a;
+}
+
+uint32_t Adler32(ByteSpan data) { return Adler32Update(1, data); }
+
+Result<Buffer> ZlibCompress(ByteSpan input, const DeflateOptions& options) {
+  Buffer out;
+  // CMF: method 8 (deflate), 32K window (CINFO=7) -> 0x78.
+  constexpr uint8_t kCmf = 0x78;
+  // FLG: no preset dictionary, default compression; FCHECK makes
+  // (CMF*256 + FLG) a multiple of 31 -> 0x9C.
+  constexpr uint8_t kFlg = 0x9C;
+  static_assert((uint32_t(kCmf) * 256 + kFlg) % 31 == 0);
+  out.AppendU8(kCmf);
+  out.AppendU8(kFlg);
+  DPDPU_ASSIGN_OR_RETURN(Buffer deflated, DeflateCompress(input, options));
+  out.Append(deflated.span());
+  // Adler-32, big-endian per RFC 1950.
+  uint32_t adler = Adler32(input);
+  out.AppendU8(uint8_t(adler >> 24));
+  out.AppendU8(uint8_t(adler >> 16));
+  out.AppendU8(uint8_t(adler >> 8));
+  out.AppendU8(uint8_t(adler));
+  return out;
+}
+
+Result<Buffer> ZlibDecompress(ByteSpan input, size_t max_output) {
+  if (input.size() < 6) {
+    return Status::Corruption("zlib: stream too short");
+  }
+  uint8_t cmf = input[0];
+  uint8_t flg = input[1];
+  if ((cmf & 0x0F) != 8) {
+    return Status::Corruption("zlib: method is not deflate");
+  }
+  if ((uint32_t(cmf) * 256 + flg) % 31 != 0) {
+    return Status::Corruption("zlib: header check failed");
+  }
+  if (flg & 0x20) {
+    return Status::NotSupported("zlib: preset dictionaries");
+  }
+  ByteSpan body = input.subspan(2, input.size() - 6);
+  DPDPU_ASSIGN_OR_RETURN(Buffer plain, DeflateDecompress(body, max_output));
+  uint32_t stored = uint32_t(input[input.size() - 4]) << 24 |
+                    uint32_t(input[input.size() - 3]) << 16 |
+                    uint32_t(input[input.size() - 2]) << 8 |
+                    uint32_t(input[input.size() - 1]);
+  if (stored != Adler32(plain.span())) {
+    return Status::Corruption("zlib: adler32 mismatch");
+  }
+  return plain;
+}
+
+}  // namespace dpdpu::kern

@@ -1,0 +1,33 @@
+// zlib container format (RFC 1950) over the DEFLATE core: 2-byte header,
+// raw DEFLATE stream, Adler-32 of the uncompressed data. This is the
+// wire format most systems exchange ("zlib-wrapped deflate"), so the
+// compression DP kernel can interoperate with real data.
+
+#ifndef DPDPU_KERN_ZLIB_FORMAT_H_
+#define DPDPU_KERN_ZLIB_FORMAT_H_
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "kern/deflate.h"
+
+namespace dpdpu::kern {
+
+/// Adler-32 checksum (RFC 1950 §8).
+uint32_t Adler32(ByteSpan data);
+
+/// Incremental form; start from 1.
+uint32_t Adler32Update(uint32_t adler, ByteSpan data);
+
+/// Compresses into a zlib stream (header + DEFLATE + Adler-32).
+Result<Buffer> ZlibCompress(ByteSpan input,
+                            const DeflateOptions& options = {});
+
+/// Decompresses a zlib stream, validating the header and checksum.
+Result<Buffer> ZlibDecompress(ByteSpan input,
+                              size_t max_output = size_t(1) << 31);
+
+}  // namespace dpdpu::kern
+
+#endif  // DPDPU_KERN_ZLIB_FORMAT_H_

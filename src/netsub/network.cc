@@ -1,0 +1,40 @@
+#include "netsub/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dpdpu::netsub {
+
+void Network::Attach(NodeId node, hw::NicPort* nic, RxHandler handler) {
+  DPDPU_CHECK(endpoints_.count(node) == 0);
+  endpoints_[node] = Endpoint{nic, std::move(handler)};
+}
+
+void Network::Send(Packet packet) {
+  auto src_it = endpoints_.find(packet.src);
+  auto dst_it = endpoints_.find(packet.dst);
+  if (src_it == endpoints_.end() || dst_it == endpoints_.end()) {
+    ++dropped_;
+    return;
+  }
+  bool lost = loss_rate_ > 0.0 && loss_rng_.NextBool(loss_rate_);
+  size_t wire = packet.wire_size();
+  // Serialize on the sender's NIC; deliver at the far end unless lost.
+  src_it->second.nic->Transmit(
+      wire, [this, packet = std::move(packet), lost]() mutable {
+        if (lost) {
+          ++dropped_;
+          return;
+        }
+        auto it = endpoints_.find(packet.dst);
+        if (it == endpoints_.end()) {
+          ++dropped_;
+          return;
+        }
+        ++delivered_;
+        it->second.handler(std::move(packet));
+      });
+}
+
+}  // namespace dpdpu::netsub

@@ -1,0 +1,328 @@
+#include "netsub/rdma.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dpdpu::netsub {
+
+namespace {
+
+// Wire message types.
+constexpr uint8_t kMsgWrite = 1;
+constexpr uint8_t kMsgWriteAck = 2;
+constexpr uint8_t kMsgReadReq = 3;
+constexpr uint8_t kMsgReadResp = 4;
+constexpr uint8_t kMsgSend = 5;
+constexpr uint8_t kMsgSendAck = 6;
+constexpr uint8_t kMsgNack = 7;
+
+struct WireHeader {
+  uint8_t type;
+  uint32_t src_qp;
+  uint32_t dst_qp;
+  uint64_t wr_id;
+  uint32_t rkey;
+  uint64_t roff;
+  uint32_t len;
+  // For READ: requester-side placement, echoed in the response.
+  uint32_t lkey;
+  uint64_t loff;
+  // For NACK: op being rejected.
+  uint8_t nacked_op;
+};
+
+void Encode(const WireHeader& h, Buffer* out) {
+  out->AppendU8(h.type);
+  out->AppendU32(h.src_qp);
+  out->AppendU32(h.dst_qp);
+  out->AppendU64(h.wr_id);
+  out->AppendU32(h.rkey);
+  out->AppendU64(h.roff);
+  out->AppendU32(h.len);
+  out->AppendU32(h.lkey);
+  out->AppendU64(h.loff);
+  out->AppendU8(h.nacked_op);
+}
+
+bool Decode(ByteReader& r, WireHeader* h) {
+  return r.ReadU8(&h->type) && r.ReadU32(&h->src_qp) &&
+         r.ReadU32(&h->dst_qp) && r.ReadU64(&h->wr_id) &&
+         r.ReadU32(&h->rkey) && r.ReadU64(&h->roff) && r.ReadU32(&h->len) &&
+         r.ReadU32(&h->lkey) && r.ReadU64(&h->loff) &&
+         r.ReadU8(&h->nacked_op);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueuePair.
+// ---------------------------------------------------------------------------
+
+Status QueuePair::PostWrite(uint64_t wr_id, MrKey local, size_t loff,
+                            MrKey remote_key, size_t roff, size_t len) {
+  if (!remote_qp_set_) return Status::Unavailable("qp: not connected");
+  DPDPU_ASSIGN_OR_RETURN(MutableByteSpan mem, nic_->Memory(local));
+  if (loff + len > mem.size()) {
+    return Status::OutOfRange("qp: local write span out of region");
+  }
+  WireHeader h{};
+  h.type = kMsgWrite;
+  h.src_qp = id_;
+  h.dst_qp = remote_qp_;
+  h.wr_id = wr_id;
+  h.rkey = remote_key;
+  h.roff = roff;
+  h.len = static_cast<uint32_t>(len);
+  Buffer payload;
+  Encode(h, &payload);
+  payload.Append(ByteSpan(mem.data() + loff, len));
+  nic_->SendWire(remote_node_, std::move(payload));
+  return Status::Ok();
+}
+
+Status QueuePair::PostRead(uint64_t wr_id, MrKey local, size_t loff,
+                           MrKey remote_key, size_t roff, size_t len) {
+  if (!remote_qp_set_) return Status::Unavailable("qp: not connected");
+  DPDPU_ASSIGN_OR_RETURN(MutableByteSpan mem, nic_->Memory(local));
+  if (loff + len > mem.size()) {
+    return Status::OutOfRange("qp: local read span out of region");
+  }
+  WireHeader h{};
+  h.type = kMsgReadReq;
+  h.src_qp = id_;
+  h.dst_qp = remote_qp_;
+  h.wr_id = wr_id;
+  h.rkey = remote_key;
+  h.roff = roff;
+  h.len = static_cast<uint32_t>(len);
+  h.lkey = local;
+  h.loff = loff;
+  Buffer payload;
+  Encode(h, &payload);
+  nic_->SendWire(remote_node_, std::move(payload));
+  return Status::Ok();
+}
+
+Status QueuePair::PostSend(uint64_t wr_id, ByteSpan data) {
+  if (!remote_qp_set_) return Status::Unavailable("qp: not connected");
+  WireHeader h{};
+  h.type = kMsgSend;
+  h.src_qp = id_;
+  h.dst_qp = remote_qp_;
+  h.wr_id = wr_id;
+  h.len = static_cast<uint32_t>(data.size());
+  Buffer payload;
+  Encode(h, &payload);
+  payload.Append(data);
+  nic_->SendWire(remote_node_, std::move(payload));
+  return Status::Ok();
+}
+
+Status QueuePair::PostRecv(uint64_t wr_id, MrKey local, size_t loff,
+                           size_t capacity) {
+  DPDPU_ASSIGN_OR_RETURN(MutableByteSpan mem, nic_->Memory(local));
+  if (loff + capacity > mem.size()) {
+    return Status::OutOfRange("qp: recv span out of region");
+  }
+  posted_recvs_.push_back(PostedRecv{wr_id, local, loff, capacity});
+  // Match any send that raced ahead of this recv.
+  while (!unmatched_sends_.empty() && !posted_recvs_.empty()) {
+    UnmatchedSend send = std::move(unmatched_sends_.front());
+    unmatched_sends_.pop_front();
+    nic_->HandleSend(id_, send.wr_id, send.data.span(), send.src,
+                     send.src_qp);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RdmaNic.
+// ---------------------------------------------------------------------------
+
+MrKey RdmaNic::RegisterMemory(size_t size) {
+  MrKey key = next_key_++;
+  regions_.emplace(key, Buffer(size));
+  return key;
+}
+
+Result<MutableByteSpan> RdmaNic::Memory(MrKey key) {
+  auto it = regions_.find(key);
+  if (it == regions_.end()) return Status::NotFound("rdma: unknown mr key");
+  return it->second.mutable_span();
+}
+
+QueuePair* RdmaNic::CreateQueuePair() {
+  uint32_t id = next_qp_id_++;
+  auto qp = std::unique_ptr<QueuePair>(new QueuePair(this, id));
+  QueuePair* raw = qp.get();
+  qps_.emplace(id, std::move(qp));
+  return raw;
+}
+
+void RdmaNic::SendWire(NodeId dst, Buffer payload) {
+  Packet packet;
+  packet.src = node_;
+  packet.dst = dst;
+  packet.kind = kPacketKindRdma;
+  packet.payload = std::move(payload);
+  network_->Send(std::move(packet));
+}
+
+void RdmaNic::HandleWrite(uint32_t dst_qp, uint64_t wr_id, uint32_t rkey,
+                          uint64_t roff, ByteSpan data, NodeId src,
+                          uint32_t src_qp) {
+  WireHeader ack{};
+  ack.src_qp = dst_qp;
+  ack.dst_qp = src_qp;
+  ack.wr_id = wr_id;
+  ack.len = static_cast<uint32_t>(data.size());
+
+  auto it = regions_.find(rkey);
+  if (it == regions_.end() || roff + data.size() > it->second.size()) {
+    ack.type = kMsgNack;
+    ack.nacked_op = static_cast<uint8_t>(RdmaCompletion::OpType::kWrite);
+  } else {
+    std::memcpy(it->second.data() + roff, data.data(), data.size());
+    ++remote_ops_;
+    ack.type = kMsgWriteAck;
+  }
+  Buffer payload;
+  Encode(ack, &payload);
+  SendWire(src, std::move(payload));
+}
+
+void RdmaNic::HandleRead(uint32_t dst_qp, uint64_t wr_id, uint32_t rkey,
+                         uint64_t roff, uint32_t len, NodeId src,
+                         uint32_t src_qp, uint64_t dest_loff,
+                         uint32_t dest_lkey) {
+  WireHeader resp{};
+  resp.src_qp = dst_qp;
+  resp.dst_qp = src_qp;
+  resp.wr_id = wr_id;
+  resp.len = len;
+  resp.lkey = dest_lkey;
+  resp.loff = dest_loff;
+
+  auto it = regions_.find(rkey);
+  Buffer payload;
+  if (it == regions_.end() || roff + len > it->second.size()) {
+    resp.type = kMsgNack;
+    resp.nacked_op = static_cast<uint8_t>(RdmaCompletion::OpType::kRead);
+    Encode(resp, &payload);
+  } else {
+    ++remote_ops_;
+    resp.type = kMsgReadResp;
+    Encode(resp, &payload);
+    payload.Append(ByteSpan(it->second.data() + roff, len));
+  }
+  SendWire(src, std::move(payload));
+}
+
+void RdmaNic::HandleSend(uint32_t dst_qp, uint64_t wr_id, ByteSpan data,
+                         NodeId src, uint32_t src_qp) {
+  auto qp_it = qps_.find(dst_qp);
+  if (qp_it == qps_.end()) return;
+  QueuePair* qp = qp_it->second.get();
+
+  if (qp->posted_recvs_.empty()) {
+    qp->unmatched_sends_.push_back(QueuePair::UnmatchedSend{
+        wr_id, src, src_qp, Buffer(data.data(), data.size())});
+    return;
+  }
+  QueuePair::PostedRecv recv = qp->posted_recvs_.front();
+  qp->posted_recvs_.pop_front();
+
+  WireHeader ack{};
+  ack.src_qp = dst_qp;
+  ack.dst_qp = src_qp;
+  ack.wr_id = wr_id;
+  ack.len = static_cast<uint32_t>(data.size());
+
+  auto mr = regions_.find(recv.mr);
+  if (data.size() > recv.capacity || mr == regions_.end()) {
+    ack.type = kMsgNack;
+    ack.nacked_op = static_cast<uint8_t>(RdmaCompletion::OpType::kSend);
+    qp->cq_.Push(RdmaCompletion{RdmaCompletion::OpType::kRecv, recv.wr_id, 0,
+                                false});
+  } else {
+    std::memcpy(mr->second.data() + recv.offset, data.data(), data.size());
+    ++remote_ops_;
+    ack.type = kMsgSendAck;
+    qp->cq_.Push(RdmaCompletion{RdmaCompletion::OpType::kRecv, recv.wr_id,
+                                data.size(), true});
+  }
+  Buffer payload;
+  Encode(ack, &payload);
+  SendWire(src, std::move(payload));
+}
+
+void RdmaNic::OnPacket(Packet packet) {
+  ByteReader reader(packet.payload.span());
+  WireHeader h;
+  if (!Decode(reader, &h)) return;
+  ByteSpan data;
+  if (!reader.ReadSpan(h.len, &data) &&
+      (h.type == kMsgWrite || h.type == kMsgSend ||
+       h.type == kMsgReadResp)) {
+    return;  // malformed
+  }
+
+  switch (h.type) {
+    case kMsgWrite:
+      HandleWrite(h.dst_qp, h.wr_id, h.rkey, h.roff, data, packet.src,
+                  h.src_qp);
+      break;
+    case kMsgReadReq:
+      HandleRead(h.dst_qp, h.wr_id, h.rkey, h.roff, h.len, packet.src,
+                 h.src_qp, h.loff, h.lkey);
+      break;
+    case kMsgSend:
+      HandleSend(h.dst_qp, h.wr_id, data, packet.src, h.src_qp);
+      break;
+    case kMsgWriteAck:
+    case kMsgSendAck: {
+      auto it = qps_.find(h.dst_qp);
+      if (it == qps_.end()) return;
+      it->second->cq_.Push(RdmaCompletion{
+          h.type == kMsgWriteAck ? RdmaCompletion::OpType::kWrite
+                                 : RdmaCompletion::OpType::kSend,
+          h.wr_id, h.len, true});
+      break;
+    }
+    case kMsgReadResp: {
+      auto it = qps_.find(h.dst_qp);
+      if (it == qps_.end()) return;
+      auto mr = regions_.find(h.lkey);
+      bool ok = mr != regions_.end() &&
+                h.loff + data.size() <= mr->second.size();
+      if (ok) {
+        std::memcpy(mr->second.data() + h.loff, data.data(), data.size());
+      }
+      it->second->cq_.Push(RdmaCompletion{RdmaCompletion::OpType::kRead,
+                                          h.wr_id, data.size(), ok});
+      break;
+    }
+    case kMsgNack: {
+      auto it = qps_.find(h.dst_qp);
+      if (it == qps_.end()) return;
+      it->second->cq_.Push(RdmaCompletion{
+          static_cast<RdmaCompletion::OpType>(h.nacked_op), h.wr_id, 0,
+          false});
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ConnectQueuePairs(QueuePair* a, QueuePair* b) {
+  a->remote_node_ = b->nic_->node();
+  a->remote_qp_ = b->id();
+  a->remote_qp_set_ = true;
+  b->remote_node_ = a->nic_->node();
+  b->remote_qp_ = a->id();
+  b->remote_qp_set_ = true;
+}
+
+}  // namespace dpdpu::netsub

@@ -1,0 +1,163 @@
+// Lock-free ring buffers — the host/DPU communication primitive at the
+// center of the paper's Figure 7 ("replace the RDMA queues with lock-free
+// ring buffers... DMA-accessible such that NE on the DPU can poll user
+// requests") and of the Storage Engine's request path (Section 7:
+// "contention between application threads ... is minimized with lock-free
+// ring buffers in the user library").
+//
+// Two real, thread-safe implementations:
+//  - SpscRing:  single-producer single-consumer, wait-free, no CAS.
+//  - MpmcRing:  bounded multi-producer multi-consumer (Vyukov queue).
+//
+// Within the simulator these are driven from one thread, but the
+// implementations are the genuine concurrent articles and are exercised
+// with real threads in tests/netsub_test.cc.
+
+#ifndef DPDPU_NETSUB_RING_H_
+#define DPDPU_NETSUB_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dpdpu::netsub {
+
+/// Wait-free single-producer/single-consumer bounded queue.
+/// Capacity must be a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {
+    DPDPU_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer side. Returns false when full.
+  bool TryPush(T value) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when called from either endpoint's
+  /// thread between its own operations).
+  size_t size_approx() const {
+    size_t head = head_.load(std::memory_order_acquire);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<size_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<size_t> tail_{0};  // consumer cursor
+};
+
+/// Bounded multi-producer/multi-consumer queue (Dmitry Vyukov's design):
+/// per-slot sequence numbers; producers and consumers claim slots with a
+/// single CAS each, no locks. Capacity must be a power of two.
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    DPDPU_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    for (size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  bool TryPush(T value) {
+    size_t pos = enqueue_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      size_t seq = slot.seq.load(std::memory_order_acquire);
+      intptr_t diff = intptr_t(seq) - intptr_t(pos);
+      if (diff == 0) {
+        if (enqueue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool TryPop(T* out) {
+    size_t pos = dequeue_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      size_t seq = slot.seq.load(std::memory_order_acquire);
+      intptr_t diff = intptr_t(seq) - intptr_t(pos + 1);
+      if (diff == 0) {
+        if (dequeue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          *out = std::move(slot.value);
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  size_t size_approx() const {
+    size_t e = enqueue_.load(std::memory_order_acquire);
+    size_t d = dequeue_.load(std::memory_order_acquire);
+    return e >= d ? e - d : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  const size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<size_t> enqueue_{0};
+  alignas(64) std::atomic<size_t> dequeue_{0};
+};
+
+}  // namespace dpdpu::netsub
+
+#endif  // DPDPU_NETSUB_RING_H_

@@ -1,0 +1,113 @@
+// The DPDPU discrete-event simulator. All hardware timing in this
+// repository — CPU cycles, ASIC jobs, NIC serialization, PCIe DMA, SSD
+// accesses — is expressed as events on this single virtual clock.
+//
+// Determinism contract: events are totally ordered by (time, insertion
+// sequence), so two runs with the same seed produce identical traces.
+
+#ifndef DPDPU_SIM_SIMULATOR_H_
+#define DPDPU_SIM_SIMULATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/function.h"
+#include "common/logging.h"
+
+namespace dpdpu::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = uint64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000ull * 1000 * 1000;
+
+/// Converts seconds (double) to SimTime, rounding to nearest nanosecond.
+inline SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * double(kSecond) + 0.5);
+}
+inline double ToSeconds(SimTime t) { return double(t) / double(kSecond); }
+
+/// Single-threaded event-driven simulator.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t events_executed() const { return executed_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+  /// Schedules `fn` to run `delay` ns from now.
+  void Schedule(SimTime delay, UniqueFunction fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t`; t must be >= now().
+  void ScheduleAt(SimTime t, UniqueFunction fn) {
+    DPDPU_CHECK(t >= now_);
+    heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Event::Later);
+  }
+
+  /// Executes the next event, if any. Returns false when idle.
+  bool Step() {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Event::Later);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    DPDPU_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs until the event queue is empty. Returns events executed.
+  uint64_t Run() {
+    uint64_t n = 0;
+    while (Step()) ++n;
+    return n;
+  }
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  uint64_t RunUntil(SimTime t) {
+    uint64_t n = 0;
+    while (!heap_.empty() && heap_.front().time <= t) {
+      Step();
+      ++n;
+    }
+    if (t > now_) now_ = t;
+    return n;
+  }
+
+  /// Runs for `d` ns of virtual time from now.
+  uint64_t RunFor(SimTime d) { return RunUntil(now_ + d); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    UniqueFunction fn;
+
+    // Min-heap on (time, seq) via std::push_heap's max-heap comparator.
+    static bool Later(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::vector<Event> heap_;
+};
+
+}  // namespace dpdpu::sim
+
+#endif  // DPDPU_SIM_SIMULATOR_H_

@@ -1,0 +1,151 @@
+// Model-checking property test for DpuFs: random operation sequences are
+// applied both to the real file system and to a trivial in-memory
+// reference model; after every batch (and across remounts) the two must
+// agree on the namespace, file sizes, and every byte of content.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fssub/block_device.h"
+#include "fssub/dpufs.h"
+
+namespace dpdpu::fssub {
+namespace {
+
+constexpr uint32_t kBs = 4096;
+
+struct RefFile {
+  std::vector<uint8_t> bytes;
+};
+
+class Model {
+ public:
+  std::map<std::string, RefFile> files;
+
+  void Write(const std::string& name, uint64_t offset, ByteSpan data) {
+    RefFile& f = files[name];
+    if (f.bytes.size() < offset + data.size()) {
+      f.bytes.resize(offset + data.size(), 0);
+    }
+    std::copy(data.begin(), data.end(), f.bytes.begin() + offset);
+  }
+};
+
+class FsModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FsModelTest, RandomOpsMatchReference) {
+  const uint64_t seed = GetParam();
+  Pcg32 rng(seed);
+  MemBlockDevice dev(kBs, 8192);  // 32 MB
+  auto fs_or = DpuFs::Format(&dev);
+  ASSERT_TRUE(fs_or.ok());
+  std::unique_ptr<DpuFs> fs = std::move(fs_or).value();
+  Model model;
+
+  auto verify = [&] {
+    // Namespace agreement.
+    std::vector<std::string> names = fs->List();
+    ASSERT_EQ(names.size(), model.files.size());
+    for (const auto& [name, ref] : model.files) {
+      auto file = fs->Lookup(name);
+      ASSERT_TRUE(file.ok()) << name;
+      auto size = fs->FileSize(*file);
+      ASSERT_TRUE(size.ok());
+      ASSERT_EQ(*size, ref.bytes.size()) << name;
+      if (!ref.bytes.empty()) {
+        auto content = fs->Read(*file, 0, ref.bytes.size());
+        ASSERT_TRUE(content.ok()) << name;
+        ASSERT_EQ(content->size(), ref.bytes.size());
+        ASSERT_TRUE(std::equal(ref.bytes.begin(), ref.bytes.end(),
+                               content->data()))
+            << name;
+      }
+    }
+  };
+
+  constexpr int kOps = 220;
+  for (int op = 0; op < kOps; ++op) {
+    uint32_t kind = rng.NextBounded(100);
+    if (kind < 20) {
+      // Create.
+      std::string name = "f" + std::to_string(rng.NextBounded(12));
+      auto created = fs->Create(name);
+      if (model.files.count(name) > 0) {
+        EXPECT_TRUE(created.status().IsAlreadyExists());
+      } else if (created.ok()) {
+        model.files[name] = RefFile{};
+      }
+    } else if (kind < 30) {
+      // Delete.
+      if (!model.files.empty()) {
+        auto it = model.files.begin();
+        std::advance(it, rng.NextBounded(uint32_t(model.files.size())));
+        ASSERT_TRUE(fs->Delete(it->first).ok());
+        model.files.erase(it);
+      }
+    } else if (kind < 75) {
+      // Write at random offset (possibly extending, possibly unaligned).
+      if (!model.files.empty()) {
+        auto it = model.files.begin();
+        std::advance(it, rng.NextBounded(uint32_t(model.files.size())));
+        uint64_t offset = rng.NextBounded(64 * 1024);
+        size_t len = 1 + rng.NextBounded(16 * 1024);
+        std::vector<uint8_t> data(len);
+        FillRandomBytes(rng, data.data(), len);
+        auto file = fs->Lookup(it->first);
+        ASSERT_TRUE(file.ok());
+        Status s = fs->Write(*file, offset, ByteSpan(data.data(), len));
+        if (s.ok()) {
+          model.Write(it->first, offset, ByteSpan(data.data(), len));
+        } else {
+          ASSERT_TRUE(s.IsResourceExhausted()) << s;
+        }
+      }
+    } else if (kind < 90) {
+      // Random read must match the model byte for byte.
+      if (!model.files.empty()) {
+        auto it = model.files.begin();
+        std::advance(it, rng.NextBounded(uint32_t(model.files.size())));
+        const RefFile& ref = it->second;
+        auto file = fs->Lookup(it->first);
+        ASSERT_TRUE(file.ok());
+        uint64_t offset = rng.NextBounded(80 * 1024);
+        size_t len = 1 + rng.NextBounded(8 * 1024);
+        auto got = fs->Read(*file, offset, len);
+        ASSERT_TRUE(got.ok());
+        size_t expect_len =
+            offset >= ref.bytes.size()
+                ? 0
+                : std::min<size_t>(len, ref.bytes.size() - offset);
+        ASSERT_EQ(got->size(), expect_len);
+        if (expect_len > 0) {
+          ASSERT_TRUE(std::equal(got->data(), got->data() + expect_len,
+                                 ref.bytes.begin() + offset));
+        }
+      }
+    } else if (kind < 95) {
+      // Checkpoint.
+      ASSERT_TRUE(fs->Checkpoint().ok());
+    } else {
+      // Clean remount: everything must survive.
+      ASSERT_TRUE(fs->Checkpoint().ok());
+      fs.reset();
+      auto remounted = DpuFs::Mount(&dev);
+      ASSERT_TRUE(remounted.ok()) << remounted.status();
+      fs = std::move(remounted).value();
+      verify();
+    }
+    if (op % 40 == 39) verify();
+  }
+  verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dpdpu::fssub

@@ -1,0 +1,264 @@
+// Tests for the Network Engine: TCP offload vs host-kernel cost paths,
+// flow-control co-design, DFI-style flows, and the two RDMA issue paths
+// of Figure 7.
+
+#include <gtest/gtest.h>
+
+#include "core/network/flow.h"
+#include "core/network/network_engine.h"
+#include "core/runtime/metrics.h"
+#include "hw/calibration.h"
+#include "kern/textgen.h"
+
+namespace dpdpu::ne {
+namespace {
+
+struct TwoServers {
+  explicit TwoServers(TcpMode mode = TcpMode::kDpuOffload) : net(&sim) {
+    NetworkEngineOptions options;
+    options.tcp_mode = mode;
+    a_server = std::make_unique<hw::Server>(&sim, hw::DefaultServerSpec("a"));
+    b_server = std::make_unique<hw::Server>(&sim, hw::DefaultServerSpec("b"));
+    a = std::make_unique<NetworkEngine>(a_server.get(), &net, 1, options);
+    b = std::make_unique<NetworkEngine>(b_server.get(), &net, 2, options);
+    net.Attach(1, &a_server->nic_tx(),
+               [this](netsub::Packet p) { a->OnPacket(std::move(p)); });
+    net.Attach(2, &b_server->nic_tx(),
+               [this](netsub::Packet p) { b->OnPacket(std::move(p)); });
+  }
+
+  sim::Simulator sim;
+  netsub::Network net;
+  std::unique_ptr<hw::Server> a_server, b_server;
+  std::unique_ptr<NetworkEngine> a, b;
+};
+
+TEST(NeTcpTest, OffloadedSocketDeliversExactBytes) {
+  TwoServers env;
+  Buffer sent = kern::GenerateText(500000, {});
+  Buffer received;
+  env.b->Listen(80, [&](NeSocket* s) {
+    s->SetReceiveCallback([&](ByteSpan d) { received.Append(d); });
+  });
+  NeSocket* client = env.a->Connect(2, 80);
+  client->Send(sent.span());
+  env.sim.Run();
+  ASSERT_EQ(received.size(), sent.size());
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(client->bytes_sent(), sent.size());
+}
+
+TEST(NeTcpTest, HostKernelModeAlsoDelivers) {
+  TwoServers env(TcpMode::kHostKernel);
+  Buffer sent = kern::GenerateText(200000, {});
+  Buffer received;
+  env.b->Listen(80, [&](NeSocket* s) {
+    s->SetReceiveCallback([&](ByteSpan d) { received.Append(d); });
+  });
+  env.a->Connect(2, 80)->Send(sent.span());
+  env.sim.Run();
+  EXPECT_EQ(received, sent);
+}
+
+TEST(NeTcpTest, OffloadMovesCpuCostFromHostToDpu) {
+  // The Figure 3 / Section 6 claim: same transfer, the host cores
+  // consumed collapse and the DPU absorbs the protocol work.
+  auto run = [](TcpMode mode, double* host_cores, double* dpu_cores) {
+    TwoServers env(mode);
+    Buffer sent = kern::GenerateText(2 << 20, {});
+    env.b->Listen(80, [&](NeSocket* s) {
+      s->SetReceiveCallback([](ByteSpan) {});
+    });
+    rt::UtilizationProbe probe(env.a_server.get());
+    probe.Start();
+    env.a->Connect(2, 80)->Send(sent.span());
+    env.sim.Run();
+    probe.Stop();
+    *host_cores = probe.host_cores();
+    *dpu_cores = probe.dpu_cores();
+  };
+  double kernel_host, kernel_dpu, offload_host, offload_dpu;
+  run(TcpMode::kHostKernel, &kernel_host, &kernel_dpu);
+  run(TcpMode::kDpuOffload, &offload_host, &offload_dpu);
+  EXPECT_GT(kernel_host, offload_host * 5)
+      << "offload must slash host CPU cost";
+  EXPECT_GT(offload_dpu, kernel_dpu)
+      << "the DPU picks up the protocol work";
+}
+
+TEST(NeTcpTest, ReceiverRingBackpressureShrinksWindow) {
+  TwoServers env;
+  // Tiny host ring on the receiver.
+  NetworkEngineOptions tight;
+  tight.host_rx_ring_bytes = 32 * 1024;
+  auto c_server = std::make_unique<hw::Server>(
+      &env.sim, hw::DefaultServerSpec("c"));
+  NetworkEngine c(c_server.get(), &env.net, 3, tight);
+  env.net.Attach(3, &c_server->nic_tx(),
+                 [&](netsub::Packet p) { c.OnPacket(std::move(p)); });
+
+  Buffer sent = kern::GenerateText(1 << 20, {});
+  uint64_t received = 0;
+  c.Listen(80, [&](NeSocket* s) {
+    s->SetReceiveCallback([&](ByteSpan d) { received += d.size(); });
+  });
+  NeSocket* client = env.a->Connect(3, 80);
+  client->Send(sent.span());
+  env.sim.Run();
+  // All bytes still arrive (flow control throttles, never loses).
+  EXPECT_EQ(received, sent.size());
+}
+
+// --------------------------------------------------------------------------
+// Flows.
+// --------------------------------------------------------------------------
+
+TEST(FlowTest, RecordsRoundTripWithBatching) {
+  TwoServers env;
+  std::vector<std::string> got;
+  std::unique_ptr<FlowReader> reader;
+  env.b->Listen(80, [&](NeSocket* s) {
+    reader = std::make_unique<FlowReader>(
+        s, [&](ByteSpan record) {
+          got.emplace_back(reinterpret_cast<const char*>(record.data()),
+                           record.size());
+        });
+  });
+  NeSocket* client = env.a->Connect(2, 80);
+  FlowWriter writer(client, /*batch_bytes=*/4096);
+  std::vector<std::string> sent;
+  for (int i = 0; i < 500; ++i) {
+    sent.push_back("record-" + std::to_string(i));
+    writer.Push(Buffer(sent.back()).span());
+  }
+  writer.Flush();
+  env.sim.Run();
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(writer.records_pushed(), 500u);
+  EXPECT_LT(writer.batches_sent(), 500u);  // batching actually batched
+  EXPECT_EQ(reader->records_received(), 500u);
+}
+
+TEST(FlowTest, LargeRecordsSpanBatches) {
+  TwoServers env;
+  std::vector<size_t> got_sizes;
+  std::unique_ptr<FlowReader> reader;
+  env.b->Listen(80, [&](NeSocket* s) {
+    reader = std::make_unique<FlowReader>(
+        s, [&](ByteSpan r) { got_sizes.push_back(r.size()); });
+  });
+  NeSocket* client = env.a->Connect(2, 80);
+  FlowWriter writer(client, 1024);
+  Buffer big = kern::GenerateRandomBytes(100000, 7);
+  writer.Push(big.span());
+  writer.Push(Buffer("tiny").span());
+  writer.Flush();
+  env.sim.Run();
+  ASSERT_EQ(got_sizes.size(), 2u);
+  EXPECT_EQ(got_sizes[0], 100000u);
+  EXPECT_EQ(got_sizes[1], 4u);
+}
+
+// --------------------------------------------------------------------------
+// RDMA offload (Figure 7).
+// --------------------------------------------------------------------------
+
+struct RdmaEnv : TwoServers {
+  RdmaEnv() {
+    qp_a = a->rdma_nic().CreateQueuePair();
+    qp_b = b->rdma_nic().CreateQueuePair();
+    netsub::ConnectQueuePairs(qp_a, qp_b);
+    local = a->rdma_nic().RegisterMemory(1 << 20);
+    remote = b->rdma_nic().RegisterMemory(1 << 20);
+  }
+  netsub::QueuePair* qp_a;
+  netsub::QueuePair* qp_b;
+  netsub::MrKey local;
+  netsub::MrKey remote;
+};
+
+TEST(RdmaOffloadTest, BothPathsMoveTheSameBytes) {
+  for (RdmaPath path : {RdmaPath::kNative, RdmaPath::kDpuOffloaded}) {
+    RdmaEnv env;
+    auto endpoint = env.a->CreateRdmaEndpoint(path, env.qp_a);
+    auto mem = env.a->rdma_nic().Memory(env.local);
+    std::memcpy(mem->data(), "figure-seven", 12);
+    ASSERT_TRUE(
+        endpoint->Write(1, env.local, 0, env.remote, 500, 12).ok());
+    env.sim.Run();
+    netsub::RdmaCompletion c;
+    ASSERT_TRUE(endpoint->PollCompletion(&c));
+    EXPECT_TRUE(c.ok);
+    auto rmem = env.b->rdma_nic().Memory(env.remote);
+    EXPECT_EQ(std::memcmp(rmem->data() + 500, "figure-seven", 12), 0);
+  }
+}
+
+TEST(RdmaOffloadTest, OffloadCutsHostIssueCost) {
+  auto run = [](RdmaPath path) {
+    RdmaEnv env;
+    auto endpoint = env.a->CreateRdmaEndpoint(path, env.qp_a);
+    rt::UtilizationProbe probe(env.a_server.get());
+    probe.Start();
+    constexpr int kOps = 2000;
+    for (int i = 0; i < kOps; ++i) {
+      EXPECT_TRUE(endpoint
+                      ->Write(i, env.local, (i * 64) % 65536, env.remote,
+                              (i * 64) % 65536, 64)
+                      .ok());
+    }
+    env.sim.Run();
+    probe.Stop();
+    // Normalize to host busy-nanoseconds per op.
+    return double(probe.host_cores()) * double(probe.window_ns()) / kOps;
+  };
+  double native = run(RdmaPath::kNative);
+  double offloaded = run(RdmaPath::kDpuOffloaded);
+  EXPECT_GT(native, offloaded * 3)
+      << "ring-based issue must be several times cheaper on the host";
+}
+
+TEST(RdmaOffloadTest, OffloadedCompletionsArriveThroughHostRing) {
+  RdmaEnv env;
+  auto endpoint =
+      env.a->CreateRdmaEndpoint(RdmaPath::kDpuOffloaded, env.qp_a);
+  ASSERT_TRUE(endpoint->Write(7, env.local, 0, env.remote, 0, 128).ok());
+  // Nothing is complete before the simulation runs.
+  netsub::RdmaCompletion c;
+  EXPECT_FALSE(endpoint->PollCompletion(&c));
+  env.sim.Run();
+  ASSERT_TRUE(endpoint->PollCompletion(&c));
+  EXPECT_EQ(c.wr_id, 7u);
+  EXPECT_TRUE(c.ok);
+  EXPECT_FALSE(endpoint->PollCompletion(&c));
+}
+
+TEST(RdmaOffloadTest, OffloadedReadAndSendRecv) {
+  RdmaEnv env;
+  auto ep_a =
+      env.a->CreateRdmaEndpoint(RdmaPath::kDpuOffloaded, env.qp_a);
+  auto ep_b =
+      env.b->CreateRdmaEndpoint(RdmaPath::kDpuOffloaded, env.qp_b);
+
+  auto rmem = env.b->rdma_nic().Memory(env.remote);
+  std::memcpy(rmem->data() + 64, "read-me!", 8);
+  ASSERT_TRUE(ep_a->Read(1, env.local, 0, env.remote, 64, 8).ok());
+
+  ASSERT_TRUE(ep_b->Recv(2, env.remote, 1024, 256).ok());
+  ASSERT_TRUE(ep_a->Send(3, Buffer("two-sided").span()).ok());
+  env.sim.Run();
+
+  auto lmem = env.a->rdma_nic().Memory(env.local);
+  EXPECT_EQ(std::memcmp(lmem->data(), "read-me!", 8), 0);
+  EXPECT_EQ(std::memcmp(rmem->data() + 1024, "two-sided", 9), 0);
+
+  int a_completions = 0, b_completions = 0;
+  netsub::RdmaCompletion c;
+  while (ep_a->PollCompletion(&c)) ++a_completions;
+  while (ep_b->PollCompletion(&c)) ++b_completions;
+  EXPECT_EQ(a_completions, 2);  // read + send
+  EXPECT_EQ(b_completions, 1);  // recv
+}
+
+}  // namespace
+}  // namespace dpdpu::ne

@@ -1,0 +1,431 @@
+// Tests for the Storage Engine: file service with DPU cache, host file
+// client paths (Linux baseline vs DPU offload), persist modes, the
+// remote-request protocol, traffic director routing, UDF translation,
+// and end-to-end remote serving (the DDS data path).
+
+#include <gtest/gtest.h>
+
+#include "core/runtime/metrics.h"
+#include "core/runtime/platform.h"
+#include "core/storage/storage_engine.h"
+#include "hw/calibration.h"
+#include "kern/textgen.h"
+
+namespace dpdpu::se {
+namespace {
+
+// Single-platform fixture for local storage paths.
+struct SeFixture {
+  SeFixture() : net(&sim), platform(&sim, &net) {}
+
+  sim::Simulator sim;
+  netsub::Network net;
+  rt::Platform platform;
+
+  FileService& files() { return platform.storage().file_service(); }
+  HostFileClient& host() { return platform.storage().host_client(); }
+};
+
+TEST(FileServiceTest, CreateWriteReadThroughService) {
+  SeFixture f;
+  fssub::FileId file = 0;
+  bool created = false;
+  f.files().CreateAsync("t", [&](Result<fssub::FileId> id) {
+    ASSERT_TRUE(id.ok());
+    file = *id;
+    created = true;
+  });
+  f.sim.Run();
+  ASSERT_TRUE(created);
+
+  Buffer data = kern::GenerateText(50000, {});
+  bool wrote = false;
+  f.files().WriteAsync(file, 0, data, PersistMode::kWriteThrough,
+                       [&](Status s) {
+                         ASSERT_TRUE(s.ok());
+                         wrote = true;
+                       });
+  f.sim.Run();
+  ASSERT_TRUE(wrote);
+
+  Buffer got;
+  f.files().ReadAsync(file, 0, uint32_t(data.size()),
+                      [&](Result<Buffer> d) {
+                        ASSERT_TRUE(d.ok());
+                        got = std::move(d).value();
+                      });
+  f.sim.Run();
+  EXPECT_EQ(got, data);
+}
+
+TEST(FileServiceTest, SecondReadHitsDpuCache) {
+  SeFixture f;
+  fssub::FileId file = 0;
+  f.files().CreateAsync("t", [&](Result<fssub::FileId> id) { file = *id; });
+  f.sim.Run();
+  Buffer data = kern::GenerateRandomBytes(64 * 1024, 3);
+  f.files().WriteAsync(file, 0, data, PersistMode::kWriteThrough,
+                       [](Status) {});
+  f.sim.Run();
+
+  // First read misses (SSD), second hits (DPU cache), and is faster.
+  sim::SimTime t0 = f.sim.now();
+  f.files().ReadAsync(file, 0, 64 * 1024, [](Result<Buffer>) {});
+  f.sim.Run();
+  sim::SimTime miss_latency = f.sim.now() - t0;
+
+  t0 = f.sim.now();
+  Buffer got;
+  f.files().ReadAsync(file, 0, 64 * 1024, [&](Result<Buffer> d) {
+    got = std::move(d).value();
+  });
+  f.sim.Run();
+  sim::SimTime hit_latency = f.sim.now() - t0;
+
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(f.files().stats().cache_hit_reads, 1u);
+  EXPECT_LT(hit_latency * 5, miss_latency)
+      << "cache hit must skip the SSD access latency";
+}
+
+TEST(FileServiceTest, WriteInvalidatesCache) {
+  SeFixture f;
+  fssub::FileId file = 0;
+  f.files().CreateAsync("t", [&](Result<fssub::FileId> id) { file = *id; });
+  f.sim.Run();
+  Buffer v1 = kern::GenerateRandomBytes(8192, 1);
+  Buffer v2 = kern::GenerateRandomBytes(8192, 2);
+  f.files().WriteAsync(file, 0, v1, PersistMode::kWriteThrough,
+                       [](Status) {});
+  f.sim.Run();
+  f.files().ReadAsync(file, 0, 8192, [](Result<Buffer>) {});  // warm cache
+  f.sim.Run();
+  f.files().WriteAsync(file, 0, v2, PersistMode::kWriteThrough,
+                       [](Status) {});
+  f.sim.Run();
+  Buffer got;
+  f.files().ReadAsync(file, 0, 8192, [&](Result<Buffer> d) {
+    got = std::move(d).value();
+  });
+  f.sim.Run();
+  EXPECT_EQ(got, v2) << "stale cache page served after overwrite";
+}
+
+TEST(FileServiceTest, DpuLogAckIsFasterThanWriteThrough) {
+  SeFixture f;
+  fssub::FileId file = 0;
+  f.files().CreateAsync("t", [&](Result<fssub::FileId> id) { file = *id; });
+  f.sim.Run();
+  Buffer data = kern::GenerateRandomBytes(8192, 5);
+
+  sim::SimTime t0 = f.sim.now();
+  sim::SimTime through_ack = 0;
+  f.files().WriteAsync(file, 0, data, PersistMode::kWriteThrough,
+                       [&](Status s) {
+                         ASSERT_TRUE(s.ok());
+                         through_ack = f.sim.now() - t0;
+                       });
+  f.sim.Run();
+
+  t0 = f.sim.now();
+  sim::SimTime log_ack = 0;
+  f.files().WriteAsync(file, 8192, data, PersistMode::kDpuLogAck,
+                       [&](Status s) {
+                         ASSERT_TRUE(s.ok());
+                         log_ack = f.sim.now() - t0;
+                       });
+  f.sim.Run();
+
+  EXPECT_LT(log_ack, through_ack)
+      << "Section 9 fast persistence: log ack must beat the SSD write";
+  EXPECT_EQ(f.files().stats().log_acked_writes, 1u);
+
+  // The background SSD write still lands: the data is readable.
+  Buffer got;
+  f.files().ReadAsync(file, 8192, 8192, [&](Result<Buffer> d) {
+    got = std::move(d).value();
+  });
+  f.sim.Run();
+  EXPECT_EQ(got, data);
+}
+
+TEST(HostFileClientTest, OffloadPathSavesHostCycles) {
+  auto run = [](HostIoPath path) {
+    SeFixture f;
+    f.host().set_path(path);
+    fssub::FileId file = 0;
+    f.files().CreateAsync("t",
+                          [&](Result<fssub::FileId> id) { file = *id; });
+    f.sim.Run();
+    Buffer data = kern::GenerateRandomBytes(8192, 1);
+    f.files().WriteAsync(file, 0, data, PersistMode::kWriteThrough,
+                         [](Status) {});
+    f.sim.Run();
+
+    rt::UtilizationProbe probe(&f.platform.server());
+    probe.Start();
+    int done = 0;
+    for (int i = 0; i < 200; ++i) {
+      f.host().Read(file, 0, 8192, [&](Result<Buffer> d) {
+        EXPECT_TRUE(d.ok());
+        ++done;
+      });
+    }
+    f.sim.Run();
+    probe.Stop();
+    EXPECT_EQ(done, 200);
+    return double(probe.host_cores()) * double(probe.window_ns());
+  };
+  double linux_host_ns = run(HostIoPath::kLinuxBaseline);
+  double offload_host_ns = run(HostIoPath::kDpuOffload);
+  EXPECT_GT(linux_host_ns, offload_host_ns * 10)
+      << "Figure 2: the DPU path frees host storage-stack cycles";
+}
+
+// --------------------------------------------------------------------------
+// Protocol.
+// --------------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  RemoteRequest request;
+  request.tag = 77;
+  request.op = RemoteOp::kWrite;
+  request.file = 3;
+  request.offset = 4096;
+  request.data = Buffer("payload");
+  request.flags = kRequestFlagRequiresHost;
+  Buffer encoded = EncodeRemoteRequest(request);
+  auto parsed = ParseRemoteRequest(encoded.span());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->tag, 77u);
+  EXPECT_EQ(parsed->op, RemoteOp::kWrite);
+  EXPECT_EQ(parsed->file, 3u);
+  EXPECT_EQ(parsed->offset, 4096u);
+  EXPECT_EQ(parsed->data.ToString(), "payload");
+  EXPECT_EQ(parsed->flags, kRequestFlagRequiresHost);
+}
+
+TEST(ProtocolTest, MalformedRequestRejected) {
+  Buffer junk("xx");
+  EXPECT_TRUE(ParseRemoteRequest(junk.span()).status().IsCorruption());
+  RemoteRequest request;
+  Buffer encoded = EncodeRemoteRequest(request);
+  encoded[8] = 99;  // invalid op
+  EXPECT_TRUE(ParseRemoteRequest(encoded.span()).status().IsCorruption());
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  RemoteResponse resp;
+  resp.tag = 5;
+  resp.ok = false;
+  resp.data = Buffer("err");
+  Buffer encoded = EncodeRemoteResponse(resp);
+  auto parsed = ParseRemoteResponse(encoded.span());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->tag, 5u);
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->data.ToString(), "err");
+}
+
+// --------------------------------------------------------------------------
+// Remote serving end to end (two platforms over the fabric).
+// --------------------------------------------------------------------------
+
+struct RemoteFixture {
+  RemoteFixture() : net(&sim) {
+    rt::PlatformOptions server_options;
+    server_options.node = 1;
+    server = std::make_unique<rt::Platform>(&sim, &net, server_options);
+    rt::PlatformOptions client_options;
+    client_options.node = 2;
+    client = std::make_unique<rt::Platform>(&sim, &net, client_options);
+    server->storage().Serve();
+  }
+
+  /// Creates a file with `data` on the storage server.
+  fssub::FileId Prepare(ByteSpan data) {
+    auto file = server->fs().Create("obj");
+    DPDPU_CHECK(file.ok());
+    DPDPU_CHECK(server->fs().Write(*file, 0, data).ok());
+    return *file;
+  }
+
+  sim::Simulator sim;
+  netsub::Network net;
+  std::unique_ptr<rt::Platform> server, client;
+};
+
+TEST(RemoteStorageTest, ReadRoundTrip) {
+  RemoteFixture f;
+  Buffer data = kern::GenerateText(100000, {});
+  fssub::FileId file = f.Prepare(data.span());
+
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+  Buffer got;
+  int errors = 0;
+  rsc.Read(file, 0, uint32_t(data.size()), [&](Result<Buffer> d) {
+    if (d.ok()) {
+      got = std::move(d).value();
+    } else {
+      ++errors;
+    }
+  });
+  f.sim.Run();
+  EXPECT_EQ(errors, 0);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(f.server->storage().director().routed_to_dpu(), 1u);
+  EXPECT_EQ(f.server->storage().offload_engine().requests_executed(), 1u);
+}
+
+TEST(RemoteStorageTest, WriteThenReadBack) {
+  RemoteFixture f;
+  fssub::FileId file = f.Prepare(Buffer("seed").span());
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+
+  Buffer payload = kern::GenerateRandomBytes(32 * 1024, 9);
+  bool wrote = false;
+  rsc.Write(file, 0, payload, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    wrote = true;
+  });
+  f.sim.Run();
+  ASSERT_TRUE(wrote);
+
+  Buffer got;
+  rsc.Read(file, 0, 32 * 1024, [&](Result<Buffer> d) {
+    ASSERT_TRUE(d.ok());
+    got = std::move(d).value();
+  });
+  f.sim.Run();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(RemoteStorageTest, ManyConcurrentRequestsAllComplete) {
+  RemoteFixture f;
+  Buffer data = kern::GenerateRandomBytes(1 << 20, 4);
+  fssub::FileId file = f.Prepare(data.span());
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+
+  constexpr int kRequests = 100;
+  int done = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    uint64_t offset = uint64_t(i) * 8192;
+    rsc.Read(file, offset, 8192, [&, offset](Result<Buffer> d) {
+      ASSERT_TRUE(d.ok());
+      ASSERT_EQ(d->size(), 8192u);
+      EXPECT_EQ(std::memcmp(d->data(), data.data() + offset, 8192), 0);
+      ++done;
+    });
+  }
+  f.sim.Run();
+  EXPECT_EQ(done, kRequests);
+}
+
+TEST(RemoteStorageTest, FlaggedRequestsRouteToHost) {
+  RemoteFixture f;
+  Buffer data = kern::GenerateRandomBytes(8192, 2);
+  fssub::FileId file = f.Prepare(data.span());
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+
+  Buffer got;
+  rsc.Read(file, 0, 8192,
+           [&](Result<Buffer> d) { got = std::move(d).value(); },
+           kRequestFlagRequiresHost);
+  f.sim.Run();
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(f.server->storage().director().routed_to_host(), 1u);
+  EXPECT_EQ(f.server->storage().director().routed_to_dpu(), 0u);
+}
+
+TEST(RemoteStorageTest, OffloadKeepsHostIdle) {
+  // The DDS headline: offloaded remote reads leave the host untouched.
+  RemoteFixture f;
+  Buffer data = kern::GenerateRandomBytes(1 << 20, 4);
+  fssub::FileId file = f.Prepare(data.span());
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+
+  rt::UtilizationProbe probe(&f.server->server());
+  probe.Start();
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    rsc.Read(file, (uint64_t(i) * 4096) % (1 << 20), 4096,
+             [&](Result<Buffer> d) {
+               ASSERT_TRUE(d.ok());
+               ++done;
+             });
+  }
+  f.sim.Run();
+  probe.Stop();
+  EXPECT_EQ(done, 200);
+  EXPECT_LT(probe.host_cores(), 0.01)
+      << "offloaded requests must not consume storage-server host cores";
+  EXPECT_GT(probe.dpu_cores(), 0.0);
+}
+
+TEST(RemoteStorageTest, CustomHostHandlerReceivesForwards) {
+  RemoteFixture f;
+  fssub::FileId file = f.Prepare(Buffer("x").span());
+  int host_handled = 0;
+  f.server->storage().SetHostHandler(
+      [&](RemoteRequest request, std::function<void(Buffer)> reply) {
+        ++host_handled;
+        RemoteResponse resp;
+        resp.tag = request.tag;
+        resp.ok = true;
+        resp.data = Buffer("from-host");
+        reply(EncodeRemoteResponse(resp));
+      });
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+  Buffer got;
+  rsc.Read(file, 0, 1, [&](Result<Buffer> d) { got = std::move(d).value(); },
+           kRequestFlagRequiresHost);
+  f.sim.Run();
+  EXPECT_EQ(host_handled, 1);
+  EXPECT_EQ(got.ToString(), "from-host");
+}
+
+TEST(RemoteStorageTest, UdfTranslatesRequests) {
+  RemoteFixture f;
+  Buffer data = kern::GenerateRandomBytes(16384, 6);
+  fssub::FileId file = f.Prepare(data.span());
+  // UDF: redirect every read to offset 8192 (e.g. translating an
+  // application key to a physical location).
+  f.server->storage().offload_engine().SetUdf(
+      [](const RemoteRequest& in) -> Result<RemoteRequest> {
+        RemoteRequest out = in;
+        out.offset = 8192;
+        return out;
+      });
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+  Buffer got;
+  rsc.Read(file, 0, 4096, [&](Result<Buffer> d) {
+    got = std::move(d).value();
+  });
+  f.sim.Run();
+  EXPECT_EQ(std::memcmp(got.data(), data.data() + 8192, 4096), 0);
+}
+
+TEST(RemoteStorageTest, ReadBeyondFileFailsCleanly) {
+  RemoteFixture f;
+  fssub::FileId file = f.Prepare(Buffer("tiny").span());
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+  bool got_short = false;
+  // Reads past EOF return the short prefix (empty here).
+  rsc.Read(file, 100, 50, [&](Result<Buffer> d) {
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(d->empty());
+    got_short = true;
+  });
+  // Unknown file id errors.
+  bool got_error = false;
+  rsc.Read(999, 0, 10, [&](Result<Buffer> d) {
+    EXPECT_FALSE(d.ok());
+    got_error = true;
+  });
+  f.sim.Run();
+  EXPECT_TRUE(got_short);
+  EXPECT_TRUE(got_error);
+}
+
+}  // namespace
+}  // namespace dpdpu::se

@@ -1,0 +1,221 @@
+// Unit tests for the discrete-event simulator and the Resource queue.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace dpdpu::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.Schedule(10, [] {});
+  sim.Run();
+  ASSERT_EQ(sim.now(), 10u);
+  sim.RunFor(25);
+  EXPECT_EQ(sim.now(), 35u);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime when = 0;
+  sim.ScheduleAt(123, [&] { when = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(when, 123u);
+}
+
+TEST(SimulatorTest, EventCountTracksExecution) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = 0;
+  bool monotonic = true;
+  // Interleave scheduling from callbacks to stress the heap.
+  for (int i = 0; i < 1000; ++i) {
+    sim.Schedule((i * 7919) % 1000, [&, i] {
+      if (sim.now() < last) monotonic = false;
+      last = sim.now();
+      if (i % 3 == 0) {
+        sim.Schedule(13, [&] {
+          if (sim.now() < last) monotonic = false;
+          last = sim.now();
+        });
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotonic);
+}
+
+// --------------------------------------------------------------------------
+// Resource
+// --------------------------------------------------------------------------
+
+TEST(ResourceTest, SingleServerSerializesJobs) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(ResourceTest, MultiServerRunsConcurrently) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 3);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 100, 100}));
+}
+
+TEST(ResourceTest, QueueDrainsFifo) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    r.Submit(10, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.jobs_completed(), 5u);
+}
+
+TEST(ResourceTest, BusyTimeAccumulatesServiceTime) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 2);
+  for (int i = 0; i < 4; ++i) r.Submit(50);
+  sim.Run();
+  EXPECT_EQ(r.busy_time(), 200u);
+  // 4 jobs x 50ns over 100ns elapsed on 2 servers => 2.0 busy-server equiv.
+  EXPECT_DOUBLE_EQ(r.BusyServerEquivalent(sim.now()), 2.0);
+  EXPECT_DOUBLE_EQ(r.Utilization(sim.now()), 1.0);
+}
+
+TEST(ResourceTest, UtilizationBelowOneWhenIdle) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 1);
+  r.Submit(100);
+  sim.Run();
+  sim.RunUntil(400);
+  EXPECT_DOUBLE_EQ(r.Utilization(sim.now()), 0.25);
+}
+
+TEST(ResourceTest, WaitHistogramRecordsQueueing) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 1);
+  r.Submit(100);
+  r.Submit(100);  // waits 100
+  r.Submit(100);  // waits 200
+  sim.Run();
+  EXPECT_EQ(r.wait_histogram().count(), 3u);
+  EXPECT_EQ(r.wait_histogram().min(), 0u);
+  // Log-bucket resolution ~4%.
+  EXPECT_NEAR(double(r.wait_histogram().max()), 200.0, 1.0);
+}
+
+TEST(ResourceTest, SubmitFromCompletionCallback) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 1);
+  int chain = 0;
+  UniqueFunction step;
+  r.Submit(10, [&] {
+    ++chain;
+    r.Submit(10, [&] { ++chain; });
+  });
+  sim.Run();
+  EXPECT_EQ(chain, 2);
+  EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(ResourceTest, ZeroServiceTimeJobs) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 1);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) r.Submit(0, [&] { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(ResourceTest, QueueLengthVisibleMidRun) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 1);
+  for (int i = 0; i < 5; ++i) r.Submit(100);
+  EXPECT_EQ(r.busy(), 1u);
+  EXPECT_EQ(r.queue_length(), 4u);
+  sim.RunUntil(150);
+  EXPECT_EQ(r.queue_length(), 3u);
+  sim.Run();
+  EXPECT_EQ(r.queue_length(), 0u);
+  EXPECT_EQ(r.busy(), 0u);
+}
+
+}  // namespace
+}  // namespace dpdpu::sim
