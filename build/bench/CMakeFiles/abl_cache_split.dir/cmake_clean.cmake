@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cache_split.dir/abl_cache_split.cc.o"
+  "CMakeFiles/abl_cache_split.dir/abl_cache_split.cc.o.d"
+  "abl_cache_split"
+  "abl_cache_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cache_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fusion.dir/abl_fusion.cc.o"
+  "CMakeFiles/abl_fusion.dir/abl_fusion.cc.o.d"
+  "abl_fusion"
+  "abl_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

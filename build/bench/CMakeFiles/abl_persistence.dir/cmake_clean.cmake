@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_persistence.dir/abl_persistence.cc.o"
+  "CMakeFiles/abl_persistence.dir/abl_persistence.cc.o.d"
+  "abl_persistence"
+  "abl_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

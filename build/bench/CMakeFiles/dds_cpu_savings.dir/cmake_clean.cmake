@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_cpu_savings.dir/dds_cpu_savings.cc.o"
+  "CMakeFiles/dds_cpu_savings.dir/dds_cpu_savings.cc.o.d"
+  "dds_cpu_savings"
+  "dds_cpu_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_cpu_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

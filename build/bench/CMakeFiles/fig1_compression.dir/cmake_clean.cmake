@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_compression.dir/fig1_compression.cc.o"
+  "CMakeFiles/fig1_compression.dir/fig1_compression.cc.o.d"
+  "fig1_compression"
+  "fig1_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_storage_cpu.dir/fig2_storage_cpu.cc.o"
+  "CMakeFiles/fig2_storage_cpu.dir/fig2_storage_cpu.cc.o.d"
+  "fig2_storage_cpu"
+  "fig2_storage_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_storage_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

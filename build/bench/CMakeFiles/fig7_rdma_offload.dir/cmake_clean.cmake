@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rdma_offload.dir/fig7_rdma_offload.cc.o"
+  "CMakeFiles/fig7_rdma_offload.dir/fig7_rdma_offload.cc.o.d"
+  "fig7_rdma_offload"
+  "fig7_rdma_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rdma_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

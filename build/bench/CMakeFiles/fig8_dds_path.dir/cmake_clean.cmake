@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dds_path.dir/fig8_dds_path.cc.o"
+  "CMakeFiles/fig8_dds_path.dir/fig8_dds_path.cc.o.d"
+  "fig8_dds_path"
+  "fig8_dds_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dds_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_dds_path.
+# This may be replaced when dependencies are built.

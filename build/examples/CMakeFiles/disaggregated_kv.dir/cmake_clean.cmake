@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated_kv.dir/disaggregated_kv.cpp.o"
+  "CMakeFiles/disaggregated_kv.dir/disaggregated_kv.cpp.o.d"
+  "disaggregated_kv"
+  "disaggregated_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

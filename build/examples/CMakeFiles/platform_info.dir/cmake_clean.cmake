@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_info.dir/platform_info.cpp.o"
+  "CMakeFiles/platform_info.dir/platform_info.cpp.o.d"
+  "platform_info"
+  "platform_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_pushdown.dir/predicate_pushdown.cpp.o"
+  "CMakeFiles/predicate_pushdown.dir/predicate_pushdown.cpp.o.d"
+  "predicate_pushdown"
+  "predicate_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

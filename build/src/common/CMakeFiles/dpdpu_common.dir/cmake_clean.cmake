@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdpu_common.dir/buffer.cc.o"
+  "CMakeFiles/dpdpu_common.dir/buffer.cc.o.d"
+  "CMakeFiles/dpdpu_common.dir/histogram.cc.o"
+  "CMakeFiles/dpdpu_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dpdpu_common.dir/logging.cc.o"
+  "CMakeFiles/dpdpu_common.dir/logging.cc.o.d"
+  "CMakeFiles/dpdpu_common.dir/rng.cc.o"
+  "CMakeFiles/dpdpu_common.dir/rng.cc.o.d"
+  "CMakeFiles/dpdpu_common.dir/status.cc.o"
+  "CMakeFiles/dpdpu_common.dir/status.cc.o.d"
+  "libdpdpu_common.a"
+  "libdpdpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compute/compute_engine.cc" "src/core/CMakeFiles/dpdpu_core.dir/compute/compute_engine.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/compute/compute_engine.cc.o.d"
+  "/root/repo/src/core/compute/dp_kernel.cc" "src/core/CMakeFiles/dpdpu_core.dir/compute/dp_kernel.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/compute/dp_kernel.cc.o.d"
+  "/root/repo/src/core/compute/scheduler.cc" "src/core/CMakeFiles/dpdpu_core.dir/compute/scheduler.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/compute/scheduler.cc.o.d"
+  "/root/repo/src/core/compute/sproc.cc" "src/core/CMakeFiles/dpdpu_core.dir/compute/sproc.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/compute/sproc.cc.o.d"
+  "/root/repo/src/core/network/flow.cc" "src/core/CMakeFiles/dpdpu_core.dir/network/flow.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/network/flow.cc.o.d"
+  "/root/repo/src/core/network/network_engine.cc" "src/core/CMakeFiles/dpdpu_core.dir/network/network_engine.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/network/network_engine.cc.o.d"
+  "/root/repo/src/core/network/rdma_flow.cc" "src/core/CMakeFiles/dpdpu_core.dir/network/rdma_flow.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/network/rdma_flow.cc.o.d"
+  "/root/repo/src/core/network/rdma_offload.cc" "src/core/CMakeFiles/dpdpu_core.dir/network/rdma_offload.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/network/rdma_offload.cc.o.d"
+  "/root/repo/src/core/runtime/metrics.cc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/metrics.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/metrics.cc.o.d"
+  "/root/repo/src/core/runtime/pipeline.cc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/pipeline.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/pipeline.cc.o.d"
+  "/root/repo/src/core/runtime/platform.cc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/platform.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/platform.cc.o.d"
+  "/root/repo/src/core/runtime/shared_state.cc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/shared_state.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/runtime/shared_state.cc.o.d"
+  "/root/repo/src/core/storage/file_service.cc" "src/core/CMakeFiles/dpdpu_core.dir/storage/file_service.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/storage/file_service.cc.o.d"
+  "/root/repo/src/core/storage/offload_engine.cc" "src/core/CMakeFiles/dpdpu_core.dir/storage/offload_engine.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/storage/offload_engine.cc.o.d"
+  "/root/repo/src/core/storage/storage_engine.cc" "src/core/CMakeFiles/dpdpu_core.dir/storage/storage_engine.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/storage/storage_engine.cc.o.d"
+  "/root/repo/src/core/storage/traffic_director.cc" "src/core/CMakeFiles/dpdpu_core.dir/storage/traffic_director.cc.o" "gcc" "src/core/CMakeFiles/dpdpu_core.dir/storage/traffic_director.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpdpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dpdpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/dpdpu_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsub/CMakeFiles/dpdpu_netsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/fssub/CMakeFiles/dpdpu_fssub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fssub/block_device.cc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/block_device.cc.o" "gcc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/block_device.cc.o.d"
+  "/root/repo/src/fssub/dpufs.cc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/dpufs.cc.o" "gcc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/dpufs.cc.o.d"
+  "/root/repo/src/fssub/journal.cc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/journal.cc.o" "gcc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/journal.cc.o.d"
+  "/root/repo/src/fssub/page_cache.cc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/page_cache.cc.o" "gcc" "src/fssub/CMakeFiles/dpdpu_fssub.dir/page_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpdpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/dpdpu_kern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

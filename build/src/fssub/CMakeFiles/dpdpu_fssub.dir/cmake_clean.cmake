@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdpu_fssub.dir/block_device.cc.o"
+  "CMakeFiles/dpdpu_fssub.dir/block_device.cc.o.d"
+  "CMakeFiles/dpdpu_fssub.dir/dpufs.cc.o"
+  "CMakeFiles/dpdpu_fssub.dir/dpufs.cc.o.d"
+  "CMakeFiles/dpdpu_fssub.dir/journal.cc.o"
+  "CMakeFiles/dpdpu_fssub.dir/journal.cc.o.d"
+  "CMakeFiles/dpdpu_fssub.dir/page_cache.cc.o"
+  "CMakeFiles/dpdpu_fssub.dir/page_cache.cc.o.d"
+  "libdpdpu_fssub.a"
+  "libdpdpu_fssub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdpu_fssub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpdpu_fssub.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdpu_hw.dir/machine.cc.o"
+  "CMakeFiles/dpdpu_hw.dir/machine.cc.o.d"
+  "libdpdpu_hw.a"
+  "libdpdpu_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdpu_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/chacha20.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/chacha20.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/chacha20.cc.o.d"
+  "/root/repo/src/kern/crc32.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/crc32.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/crc32.cc.o.d"
+  "/root/repo/src/kern/dedup.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/dedup.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/dedup.cc.o.d"
+  "/root/repo/src/kern/deflate.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/deflate.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/deflate.cc.o.d"
+  "/root/repo/src/kern/huffman.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/huffman.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/huffman.cc.o.d"
+  "/root/repo/src/kern/inflate.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/inflate.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/inflate.cc.o.d"
+  "/root/repo/src/kern/regex.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/regex.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/regex.cc.o.d"
+  "/root/repo/src/kern/relational.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/relational.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/relational.cc.o.d"
+  "/root/repo/src/kern/textgen.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/textgen.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/textgen.cc.o.d"
+  "/root/repo/src/kern/zlib_format.cc" "src/kern/CMakeFiles/dpdpu_kern.dir/zlib_format.cc.o" "gcc" "src/kern/CMakeFiles/dpdpu_kern.dir/zlib_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdpu_kern.dir/chacha20.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/chacha20.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/crc32.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/crc32.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/dedup.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/dedup.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/deflate.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/deflate.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/huffman.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/huffman.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/inflate.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/inflate.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/regex.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/regex.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/relational.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/relational.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/textgen.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/textgen.cc.o.d"
+  "CMakeFiles/dpdpu_kern.dir/zlib_format.cc.o"
+  "CMakeFiles/dpdpu_kern.dir/zlib_format.cc.o.d"
+  "libdpdpu_kern.a"
+  "libdpdpu_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdpu_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdpu_netsub.dir/minitcp.cc.o"
+  "CMakeFiles/dpdpu_netsub.dir/minitcp.cc.o.d"
+  "CMakeFiles/dpdpu_netsub.dir/network.cc.o"
+  "CMakeFiles/dpdpu_netsub.dir/network.cc.o.d"
+  "CMakeFiles/dpdpu_netsub.dir/rdma.cc.o"
+  "CMakeFiles/dpdpu_netsub.dir/rdma.cc.o.d"
+  "libdpdpu_netsub.a"
+  "libdpdpu_netsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdpu_netsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpdpu_netsub.a"
+)

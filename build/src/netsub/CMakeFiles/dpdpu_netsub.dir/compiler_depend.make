@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpdpu_netsub.
+# This may be replaced when dependencies are built.

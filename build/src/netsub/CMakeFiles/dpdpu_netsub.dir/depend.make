@@ -1,0 +1,2 @@
+# Empty dependencies file for dpdpu_netsub.
+# This may be replaced when dependencies are built.

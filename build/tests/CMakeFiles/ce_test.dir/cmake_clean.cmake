@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ce_test.dir/ce_test.cc.o"
+  "CMakeFiles/ce_test.dir/ce_test.cc.o.d"
+  "ce_test"
+  "ce_test.pdb"
+  "ce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

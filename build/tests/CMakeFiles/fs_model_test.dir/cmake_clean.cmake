@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_model_test.dir/fs_model_test.cc.o"
+  "CMakeFiles/fs_model_test.dir/fs_model_test.cc.o.d"
+  "fs_model_test"
+  "fs_model_test.pdb"
+  "fs_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fssub_test.dir/fssub_test.cc.o"
+  "CMakeFiles/fssub_test.dir/fssub_test.cc.o.d"
+  "fssub_test"
+  "fssub_test.pdb"
+  "fssub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fssub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ne_test.dir/ne_test.cc.o"
+  "CMakeFiles/ne_test.dir/ne_test.cc.o.d"
+  "ne_test"
+  "ne_test.pdb"
+  "ne_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

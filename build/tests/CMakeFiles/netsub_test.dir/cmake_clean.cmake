@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsub_test.dir/netsub_test.cc.o"
+  "CMakeFiles/netsub_test.dir/netsub_test.cc.o.d"
+  "netsub_test"
+  "netsub_test.pdb"
+  "netsub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_flow_test.dir/rdma_flow_test.cc.o"
+  "CMakeFiles/rdma_flow_test.dir/rdma_flow_test.cc.o.d"
+  "rdma_flow_test"
+  "rdma_flow_test.pdb"
+  "rdma_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se_test.dir/se_test.cc.o"
+  "CMakeFiles/se_test.dir/se_test.cc.o.d"
+  "se_test"
+  "se_test.pdb"
+  "se_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/deflate_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_test[1]_include.cmake")
+include("/root/repo/build/tests/netsub_test[1]_include.cmake")
+include("/root/repo/build/tests/fssub_test[1]_include.cmake")
+include("/root/repo/build/tests/ce_test[1]_include.cmake")
+include("/root/repo/build/tests/ne_test[1]_include.cmake")
+include("/root/repo/build/tests/se_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_model_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_flow_test[1]_include.cmake")
