@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/histogram.h"
+#include "core/runtime/metrics.h"
 #include "core/runtime/platform.h"
 #include "core/storage/storage_engine.h"
 #include "fssub/page_cache.h"
@@ -106,6 +107,13 @@ int main() {
     double host_heavy = Run(share, 0.9);
     std::printf("%17.0f%% | %10.1f %10.1f %10.1f\n", share * 100,
                 remote_heavy, mixed, host_heavy);
+    std::string split = "dpu" + std::to_string(int(share * 100)) + "pct";
+    rt::EmitJsonMetric("abl_cache_split", "remote_heavy_mean_" + split,
+                       remote_heavy, "us");
+    rt::EmitJsonMetric("abl_cache_split", "mixed_mean_" + split, mixed,
+                       "us");
+    rt::EmitJsonMetric("abl_cache_split", "host_heavy_mean_" + split,
+                       host_heavy, "us");
   }
   std::printf("\nshape: remote-heavy workloads want the budget in DPU "
               "memory, host-heavy in host memory; the optimum split "

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/compute/compute_engine.h"
+#include "core/runtime/metrics.h"
 #include "hw/machine.h"
 #include "kern/textgen.h"
 
@@ -87,6 +88,9 @@ int main() {
     double fused = RunGpu(kBytes, jobs, /*fused=*/true);
     std::printf("%6d %12.2f %12.2f %12.2f %13.2fx\n", jobs, asics, split,
                 fused, split / fused);
+    rt::EmitJsonMetric("abl_fusion",
+                       "fusion_gain_" + std::to_string(jobs) + "jobs",
+                       split / fused, "x");
   }
   std::printf("\nshape: fusing the chain removes one PCIe round trip and "
               "one kernel launch per job; the gain is largest for short "

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/histogram.h"
+#include "core/runtime/metrics.h"
 #include "core/runtime/platform.h"
 #include "core/storage/storage_engine.h"
 #include "kern/textgen.h"
@@ -72,6 +73,11 @@ int main() {
                 through.Mean() / 1000, double(through.P99()) / 1000,
                 logack.Mean() / 1000, double(logack.P99()) / 1000,
                 through.Mean() / logack.Mean());
+    std::string size = std::to_string(bytes) + "b";
+    rt::EmitJsonMetric("abl_persistence", "log_ack_speedup_" + size,
+                       through.Mean() / logack.Mean(), "x");
+    rt::EmitJsonMetric("abl_persistence", "log_ack_mean_" + size,
+                       logack.Mean() / 1000, "us");
   }
   std::printf("\nshape: acking on DPU-log durability cuts end-to-end "
               "latency for the small writes that dominate persistence-"

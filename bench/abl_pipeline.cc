@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "core/runtime/metrics.h"
 #include "core/runtime/pipeline.h"
 #include "core/runtime/platform.h"
 #include "kern/textgen.h"
@@ -131,6 +132,10 @@ int main() {
     double barrier = RunBarrier(pages);
     std::printf("%8d %12.2f %12.2f %8.2fx\n", pages, streamed, barrier,
                 barrier / streamed);
+    rt::EmitJsonMetric("abl_pipeline",
+                       "streaming_speedup_" + std::to_string(pages) +
+                           "pages",
+                       barrier / streamed, "x");
   }
   std::printf("\nshape: streaming overlaps SSD, ASIC, and NIC work; the "
               "barrier pays the sum of stage makespans.\n");

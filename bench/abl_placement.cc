@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/compute/compute_engine.h"
+#include "core/runtime/metrics.h"
 #include "hw/machine.h"
 #include "kern/textgen.h"
 
@@ -95,6 +96,9 @@ int main() {
                 (unsigned long long)sched.asic_jobs,
                 (unsigned long long)sched.dpu_cpu_jobs,
                 (unsigned long long)sched.host_jobs);
+    rt::EmitJsonMetric("abl_placement",
+                       std::string(t.name) + "_scheduled_speedup",
+                       spec.makespan_ms / sched.makespan_ms, "x");
   }
   std::printf("\nshape: the same user code runs on all three DPUs. On "
               "ASIC-rich devices (BF-2) specified and scheduled are "

@@ -12,6 +12,7 @@
 
 #include "common/histogram.h"
 #include "core/compute/compute_engine.h"
+#include "core/runtime/metrics.h"
 #include "hw/machine.h"
 #include "kern/textgen.h"
 
@@ -107,5 +108,11 @@ int main() {
               "CPUs and beats both static policies (%.2fx vs asic-only, "
               "%.1fx vs cpu-only).\n",
               asic_only / model, cpu_only / model);
+  rt::EmitJsonMetric("abl_scheduling", "drr_small_tenant_p99_gain",
+                     fcfs.small_p99_ms / drr.small_p99_ms, "x");
+  rt::EmitJsonMetric("abl_scheduling", "model_vs_asic_only_speedup",
+                     asic_only / model, "x");
+  rt::EmitJsonMetric("abl_scheduling", "model_vs_cpu_only_speedup",
+                     cpu_only / model, "x");
   return 0;
 }

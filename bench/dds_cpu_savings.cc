@@ -102,6 +102,13 @@ int main() {
                 rate / 1000, base.host_cores, half.host_cores,
                 most.host_cores, full.host_cores,
                 base.host_cores - full.host_cores);
+    std::string level = std::to_string(int(rate / 1000)) + "k";
+    rt::EmitJsonMetric("dds_cpu_savings", "baseline_host_cores_" + level,
+                       base.host_cores, "cores");
+    rt::EmitJsonMetric("dds_cpu_savings", "full_offload_host_cores_" + level,
+                       full.host_cores, "cores");
+    rt::EmitJsonMetric("dds_cpu_savings", "host_cores_saved_" + level,
+                       base.host_cores - full.host_cores, "cores");
   }
   std::printf("\nshape check: cores saved grow linearly with rate; "
               "full offload at 1M reads/s saves >10 host cores "

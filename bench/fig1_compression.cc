@@ -54,7 +54,11 @@ int main() {
     std::printf("%8zuMB %14.2f %14.2f %14.2f %9.1fx\n", mb,
                 double(epyc) / 1e6, double(arm) / 1e6, double(asic) / 1e6,
                 gain);
+    rt::EmitJsonMetric("fig1_compression",
+                       "asic_gain_" + std::to_string(mb) + "mb", gain, "x");
   }
+  rt::EmitJsonMetric("fig1_compression", "asic_gain_min", min_gain, "x");
+  rt::EmitJsonMetric("fig1_compression", "asic_gain_max", max_gain, "x");
   std::printf("\nshape check: EPYC < Arm per size; ASIC beats EPYC by "
               "%.0f-%.0fx (paper: \"an order of magnitude\")\n",
               min_gain, max_gain);

@@ -80,6 +80,13 @@ int main() {
     std::printf("%10.0fK | %12.2f | %10.3f %11.2f\n", iops / 1000,
                 linux_path.host_cores, dpdpu_path.host_cores,
                 dpdpu_path.dpu_cores);
+    std::string rate = std::to_string(int(iops / 1000)) + "k";
+    rt::EmitJsonMetric("fig2_storage_cpu", "linux_host_cores_" + rate,
+                       linux_path.host_cores, "cores");
+    rt::EmitJsonMetric("fig2_storage_cpu", "offload_host_cores_" + rate,
+                       dpdpu_path.host_cores, "cores");
+    rt::EmitJsonMetric("fig2_storage_cpu", "offload_dpu_cores_" + rate,
+                       dpdpu_path.dpu_cores, "cores");
   }
   std::printf("\nshape check: linear growth; ~2.7 host cores at 450K "
               "pages/s (paper anchor); SE offload frees the host.\n");

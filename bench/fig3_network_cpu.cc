@@ -85,6 +85,13 @@ int main() {
     Point offload = RunAtGbps(ne::TcpMode::kDpuOffload, gbps);
     std::printf("%8.0f | %12.2f | %10.3f %11.2f\n", gbps,
                 kernel.host_cores, offload.host_cores, offload.dpu_cores);
+    std::string rate = std::to_string(int(gbps)) + "gbps";
+    rt::EmitJsonMetric("fig3_network_cpu", "kernel_host_cores_" + rate,
+                       kernel.host_cores, "cores");
+    rt::EmitJsonMetric("fig3_network_cpu", "offload_host_cores_" + rate,
+                       offload.host_cores, "cores");
+    rt::EmitJsonMetric("fig3_network_cpu", "offload_dpu_cores_" + rate,
+                       offload.dpu_cores, "cores");
   }
   std::printf("\nshape check: host CPU grows with bandwidth and reaches "
               "multiple cores near line rate; the NE moves that cost to "

@@ -81,6 +81,14 @@ int main() {
     std::printf("%7zuB | %12.0f %13.2f | %12.0f %13.2f\n", bytes,
                 native.host_ns_per_op, native.mops,
                 offload.host_ns_per_op, offload.mops);
+    std::string size = std::to_string(bytes) + "b";
+    rt::EmitJsonMetric("fig7_rdma_offload", "native_host_ns_per_op_" + size,
+                       native.host_ns_per_op, "ns");
+    rt::EmitJsonMetric("fig7_rdma_offload",
+                       "offload_host_ns_per_op_" + size,
+                       offload.host_ns_per_op, "ns");
+    rt::EmitJsonMetric("fig7_rdma_offload", "offload_mops_" + size,
+                       offload.mops, "Mops");
   }
   std::printf("\nshape check: the offloaded path cuts host issue cost by "
               "several times (lock-free ring write vs lock+fence+doorbell "

@@ -103,6 +103,17 @@ int main() {
     std::printf("%-22s %10.1f %10.1f %12.3f %14.2f\n",
                 "DPDPU SE (direct)", dpu_path.mean_us, dpu_path.p99_us,
                 dpu_path.host_cores, dpu_path.pcie_crossings_per_req);
+    std::string depth = "q" + std::to_string(outstanding);
+    rt::EmitJsonMetric("fig8_dds_path", "host_path_p99_" + depth,
+                       host_path.p99_us, "us");
+    rt::EmitJsonMetric("fig8_dds_path", "se_path_p99_" + depth,
+                       dpu_path.p99_us, "us");
+    rt::EmitJsonMetric("fig8_dds_path", "host_path_host_cores_" + depth,
+                       host_path.host_cores, "cores");
+    rt::EmitJsonMetric("fig8_dds_path", "se_path_host_cores_" + depth,
+                       dpu_path.host_cores, "cores");
+    rt::EmitJsonMetric("fig8_dds_path", "se_path_pcie_per_req_" + depth,
+                       dpu_path.pcie_crossings_per_req, "crossings");
   }
 
   std::printf("\nshape check: the SE path removes the host PCIe round "

@@ -1,0 +1,143 @@
+// Fleet: N storage servers + M client/compute nodes, each a full
+// rt::Platform (hardware model + the three engines), joined by one
+// netsub fabric on one virtual clock. This is the paper's actual
+// deployment shape — DDS economics (Section 9, Figure 9) are fleet
+// economics: "cores saved per storage server" times the number of
+// servers. The fleet also owns the shard router and the fail/recover
+// hooks used for robustness studies.
+
+#ifndef DPDPU_CLUSTER_FLEET_H_
+#define DPDPU_CLUSTER_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_router.h"
+#include "core/runtime/metrics.h"
+#include "core/runtime/platform.h"
+#include "netsub/network.h"
+#include "sim/simulator.h"
+
+namespace dpdpu::cluster {
+
+struct FleetSpec {
+  uint32_t storage_servers = 4;
+  uint32_t clients = 8;
+  ShardRouter::Options routing;
+
+  /// Per-node option templates; the fleet assigns node ids and machine
+  /// names. Storage nodes get StorageServerSpec machines, clients get
+  /// ComputeNodeSpec machines.
+  rt::PlatformOptions storage_template;
+  rt::PlatformOptions client_template;
+
+  /// Every storage server formats one shard file of this size at
+  /// construction, filled with seed-deterministic bytes (0 = zero-fill).
+  /// Replicated reads work because replicas hold identical shard data.
+  std::string shard_file_name = "shard";
+  uint64_t shard_bytes = 32ull << 20;
+  uint64_t shard_fill_seed = 1;
+};
+
+/// How a storage node fails.
+enum class FailMode : uint8_t {
+  /// The router stops steering new traffic to the node; requests already
+  /// in flight complete (drain / graceful failover).
+  kGraceful,
+  /// The node goes dark: the fabric drops its frames in both directions.
+  /// Clients recover via timeout re-steer (workload.h).
+  kHard,
+};
+
+/// Fleet-aggregated resource usage over a probe window.
+struct FleetUsage {
+  double host_cores = 0;          // all nodes
+  double dpu_cores = 0;           // all nodes
+  double storage_host_cores = 0;  // storage servers only
+  double storage_dpu_cores = 0;
+  uint64_t fabric_bytes = 0;  // delivered over the switch fabric
+};
+
+class Fleet {
+ public:
+  Fleet(sim::Simulator* sim, FleetSpec spec);
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  sim::Simulator* simulator() { return sim_; }
+  netsub::Network& fabric() { return *fabric_; }
+  ShardRouter& router() { return *router_; }
+  const FleetSpec& spec() const { return spec_; }
+
+  uint32_t storage_servers() const { return spec_.storage_servers; }
+  uint32_t clients() const { return spec_.clients; }
+
+  rt::Platform& storage(uint32_t i) { return *storage_nodes_.at(i); }
+  rt::Platform& client(uint32_t i) { return *client_nodes_.at(i); }
+
+  netsub::NodeId storage_node_id(uint32_t i) const { return 1 + i; }
+  netsub::NodeId client_node_id(uint32_t i) const {
+    return 1 + spec_.storage_servers + i;
+  }
+  /// Index of a storage node id (DPDPU_CHECKs that it is one).
+  uint32_t storage_index(netsub::NodeId node) const;
+
+  /// The shard file on storage server i (same name, same content fleet-
+  /// wide; ids can differ per node).
+  fssub::FileId shard_file(uint32_t i) const { return shard_files_.at(i); }
+
+  // --- failure injection ---------------------------------------------------
+
+  void FailStorageNode(uint32_t i, FailMode mode = FailMode::kGraceful);
+  void RecoverStorageNode(uint32_t i);
+  bool IsStorageNodeUp(uint32_t i) const {
+    return router_->IsUp(storage_node_id(i));
+  }
+
+  // --- fleet metrics -------------------------------------------------------
+
+  /// Starts/stops utilization probes on every node; Usage() reads the
+  /// window between the last Start/Stop pair.
+  void StartProbes();
+  void StopProbes();
+  FleetUsage Usage() const;
+  const rt::UtilizationProbe& storage_probe(uint32_t i) const {
+    return storage_probes_.at(i);
+  }
+
+  /// Samples aggregate storage-host cores every `interval` ns into a
+  /// timeline (one value per interval) until StopSampling(); shows
+  /// re-steering around failures. While sampling is active the event
+  /// queue is never empty — stop it from a scheduled event, or drive
+  /// the simulator with RunFor/RunUntil instead of Run().
+  void SampleStorageCoresEvery(sim::SimTime interval);
+  void StopSampling() { sampler_.Cancel(); }
+  const std::vector<double>& storage_host_core_timeline() const {
+    return timeline_;
+  }
+
+ private:
+  sim::Simulator* sim_;
+  FleetSpec spec_;
+  std::unique_ptr<netsub::Network> fabric_;
+  std::vector<std::unique_ptr<rt::Platform>> storage_nodes_;
+  std::vector<std::unique_ptr<rt::Platform>> client_nodes_;
+  std::vector<fssub::FileId> shard_files_;
+  std::unique_ptr<ShardRouter> router_;
+
+  std::vector<rt::UtilizationProbe> storage_probes_;
+  std::vector<rt::UtilizationProbe> client_probes_;
+  uint64_t probe_fabric_bytes_start_ = 0;
+  uint64_t probe_fabric_bytes_stop_ = 0;
+
+  sim::PeriodicTask sampler_;
+  sim::SimTime sample_prev_busy_ = 0;
+  sim::SimTime sample_interval_ = 0;
+  std::vector<double> timeline_;
+};
+
+}  // namespace dpdpu::cluster
+
+#endif  // DPDPU_CLUSTER_FLEET_H_

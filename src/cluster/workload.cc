@@ -1,0 +1,195 @@
+#include "cluster/workload.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dpdpu::cluster {
+
+struct FleetClient::Op {
+  uint64_t key = 0;
+  uint8_t flags = 0;
+  sim::SimTime start = 0;
+  uint32_t attempts = 0;
+  /// Bumps on every re-steer; responses and timeouts from superseded
+  /// attempts compare their captured generation and drop out.
+  uint64_t generation = 0;
+  bool done = false;
+  std::vector<netsub::NodeId> tried;
+  std::function<void()> on_done;
+  // Write fan-out accounting.
+  uint32_t write_pending = 0;
+  bool write_ok = true;
+};
+
+FleetClient::FleetClient(Fleet* fleet, uint32_t client_index,
+                         WorkloadOptions options)
+    : fleet_(fleet),
+      client_index_(client_index),
+      options_(options),
+      rng_(options.seed * 0x9e3779b97f4a7c15ull + client_index + 1),
+      zipf_(options.keyspace, options.zipf_theta) {
+  DPDPU_CHECK(options_.keyspace * options_.request_bytes <=
+              fleet->spec().shard_bytes);
+}
+
+se::RemoteStorageClient* FleetClient::ClientFor(netsub::NodeId node) {
+  auto it = connections_.find(node);
+  if (it == connections_.end()) {
+    it = connections_
+             .emplace(node,
+                      std::make_unique<se::RemoteStorageClient>(
+                          &fleet_->client(client_index_).network(), node,
+                          fleet_->spec()
+                              .storage_template.storage.listen_port))
+             .first;
+  }
+  return it->second.get();
+}
+
+void FleetClient::IssueOne(std::function<void()> done) {
+  auto op = std::make_shared<Op>();
+  op->key = zipf_.Next(rng_);
+  op->flags = rng_.NextDouble() < options_.offload_fraction
+                  ? 0
+                  : se::kRequestFlagRequiresHost;
+  op->start = fleet_->simulator()->now();
+  op->on_done = std::move(done);
+  ++stats_.issued;
+
+  if (rng_.NextDouble() < options_.read_fraction) {
+    AttemptRead(op);
+    return;
+  }
+
+  // Write: fan out to every live replica in the preference list (all
+  // replicas hold the full shard, so any may later answer the read).
+  std::vector<netsub::NodeId> prefs =
+      fleet_->router().PreferenceList(HashU64(op->key));
+  std::vector<netsub::NodeId> live;
+  for (netsub::NodeId server : prefs) {
+    if (fleet_->router().IsUp(server)) live.push_back(server);
+  }
+  if (live.empty()) {
+    Finish(op, false);
+    return;
+  }
+  op->write_pending = uint32_t(live.size());
+  Buffer payload(options_.request_bytes);
+  for (netsub::NodeId server : live) {
+    ClientFor(server)->Write(
+        fleet_->shard_file(fleet_->storage_index(server)),
+        op->key * options_.request_bytes, payload,
+        [this, op](Status s) {
+          if (op->done) return;
+          op->write_ok = op->write_ok && s.ok();
+          if (--op->write_pending == 0) Finish(op, op->write_ok);
+        },
+        op->flags);
+  }
+}
+
+void FleetClient::AttemptRead(std::shared_ptr<Op> op) {
+  ++op->attempts;
+  uint64_t generation = ++op->generation;
+  std::optional<netsub::NodeId> target =
+      fleet_->router().Route(HashU64(op->key), op->tried);
+  if (!target.has_value()) {
+    Finish(op, false);
+    return;
+  }
+  op->tried.push_back(*target);
+  ClientFor(*target)->Read(
+      fleet_->shard_file(fleet_->storage_index(*target)),
+      op->key * options_.request_bytes, options_.request_bytes,
+      [this, op, generation](Result<Buffer> data) {
+        if (op->done || generation != op->generation) return;
+        Finish(op, data.ok());
+      },
+      op->flags);
+  if (options_.retry_timeout > 0) {
+    fleet_->simulator()->Schedule(
+        options_.retry_timeout, [this, op, generation] {
+          if (op->done || generation != op->generation) return;
+          if (op->attempts >= options_.max_attempts) {
+            Finish(op, false);
+            return;
+          }
+          ++stats_.resteered;
+          AttemptRead(op);
+        });
+  }
+}
+
+void FleetClient::Finish(std::shared_ptr<Op> op, bool ok) {
+  op->done = true;
+  if (ok) {
+    ++stats_.completed;
+    latency_.Add(fleet_->simulator()->now() - op->start);
+  } else {
+    ++stats_.failed;
+  }
+  if (op->on_done) op->on_done();
+}
+
+OpenLoopDriver::OpenLoopDriver(std::vector<FleetClient*> clients,
+                               double rate_per_sec, uint64_t seed)
+    : clients_(std::move(clients)), rate_(rate_per_sec), rng_(seed) {
+  DPDPU_CHECK(!clients_.empty());
+  DPDPU_CHECK(rate_ > 0);
+}
+
+void OpenLoopDriver::Run(sim::SimTime window) {
+  sim::Simulator* sim = clients_[0]->fleet()->simulator();
+  double mean_gap_ns = 1e9 / rate_;
+  double t = rng_.NextExponential(mean_gap_ns);
+  while (t < double(window)) {
+    uint32_t idx = rng_.NextBounded(uint32_t(clients_.size()));
+    sim->ScheduleAt(sim->now() + sim::SimTime(t), [this, idx] {
+      ++issued_;
+      clients_[idx]->IssueOne([this] { ++completed_; });
+    });
+    t += rng_.NextExponential(mean_gap_ns);
+  }
+}
+
+ClosedLoopDriver::ClosedLoopDriver(std::vector<FleetClient*> clients,
+                                   uint32_t inflight_per_client,
+                                   uint64_t total_ops)
+    : clients_(std::move(clients)),
+      inflight_per_client_(inflight_per_client),
+      total_ops_(total_ops) {
+  DPDPU_CHECK(!clients_.empty());
+  DPDPU_CHECK(inflight_per_client_ > 0);
+}
+
+void ClosedLoopDriver::Start() {
+  for (FleetClient* client : clients_) {
+    for (uint32_t w = 0; w < inflight_per_client_; ++w) {
+      IssueNext(client);
+    }
+  }
+}
+
+void ClosedLoopDriver::IssueNext(FleetClient* client) {
+  if (issued_ >= total_ops_) return;
+  ++issued_;
+  client->IssueOne([this, client] {
+    ++completed_;
+    IssueNext(client);
+  });
+}
+
+FleetWorkloadSummary Summarize(const std::vector<FleetClient*>& clients) {
+  FleetWorkloadSummary summary;
+  for (const FleetClient* client : clients) {
+    summary.totals.issued += client->stats().issued;
+    summary.totals.completed += client->stats().completed;
+    summary.totals.failed += client->stats().failed;
+    summary.totals.resteered += client->stats().resteered;
+    summary.latency_ns.Merge(client->latency_ns());
+  }
+  return summary;
+}
+
+}  // namespace dpdpu::cluster

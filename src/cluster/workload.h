@@ -1,0 +1,140 @@
+// Fleet workload drivers: a per-client request issuer that routes
+// through the shard router (with replica re-steer on timeout, for hard
+// node failures), plus open-loop (Poisson arrival) and closed-loop
+// (fixed in-flight) generators over the disaggregated_kv / log_replay
+// request shapes — 8 KB-class reads and replicated writes against each
+// storage server's shard file.
+
+#ifndef DPDPU_CLUSTER_WORKLOAD_H_
+#define DPDPU_CLUSTER_WORKLOAD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/storage/storage_engine.h"
+
+namespace dpdpu::cluster {
+
+struct WorkloadOptions {
+  /// Fraction of operations that are reads; writes replicate to every
+  /// live server in the key's preference list.
+  double read_fraction = 1.0;
+  /// Fraction of requests the DPU may serve; the rest carry the
+  /// requires-host flag (the partial-offload split).
+  double offload_fraction = 1.0;
+  uint32_t request_bytes = 8192;
+  /// Keys are ids in [0, keyspace); key k maps to shard-file offset
+  /// k * request_bytes, so keyspace * request_bytes must fit the shard.
+  uint64_t keyspace = 4000;
+  /// 0 = uniform key popularity; otherwise Zipfian skew theta.
+  double zipf_theta = 0.0;
+  uint64_t seed = 1;
+  /// When > 0, an unanswered request re-steers to the next live replica
+  /// after this long (hard-failure recovery). 0 disables timeouts —
+  /// right for graceful failover, where in-flight requests complete.
+  sim::SimTime retry_timeout = 0;
+  uint32_t max_attempts = 3;
+};
+
+/// One client node's view of the fleet: lazily opens a remote-storage
+/// connection per storage server and issues routed operations.
+class FleetClient {
+ public:
+  struct Stats {
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;     // exhausted replicas/attempts
+    uint64_t resteered = 0;  // timeout re-steers to a replica
+  };
+
+  FleetClient(Fleet* fleet, uint32_t client_index, WorkloadOptions options);
+
+  /// Issues one operation (key, read/write, and offloadability drawn
+  /// from this client's deterministic RNG). `done` fires when the
+  /// operation completes or is abandoned.
+  void IssueOne(std::function<void()> done = nullptr);
+
+  const Stats& stats() const { return stats_; }
+  const Histogram& latency_ns() const { return latency_; }
+  const WorkloadOptions& options() const { return options_; }
+  Fleet* fleet() const { return fleet_; }
+
+ private:
+  struct Op;
+
+  se::RemoteStorageClient* ClientFor(netsub::NodeId node);
+  void AttemptRead(std::shared_ptr<Op> op);
+  void Finish(std::shared_ptr<Op> op, bool ok);
+
+  Fleet* fleet_;
+  uint32_t client_index_;
+  WorkloadOptions options_;
+  Pcg32 rng_;
+  ZipfGenerator zipf_;
+  std::map<netsub::NodeId, std::unique_ptr<se::RemoteStorageClient>>
+      connections_;
+  Stats stats_;
+  Histogram latency_;
+};
+
+/// Open-loop driver: Poisson arrivals at `rate_per_sec` spread uniformly
+/// over the clients, for a fixed window. Arrival times are drawn up
+/// front (deterministic in the seed); routing happens at issue time, so
+/// mid-window failures re-steer the remaining arrivals.
+class OpenLoopDriver {
+ public:
+  OpenLoopDriver(std::vector<FleetClient*> clients, double rate_per_sec,
+                 uint64_t seed);
+
+  /// Schedules all arrivals in [now, now + window).
+  void Run(sim::SimTime window);
+
+  uint64_t issued() const { return issued_; }
+  uint64_t completed() const { return completed_; }
+
+ private:
+  std::vector<FleetClient*> clients_;
+  double rate_;
+  Pcg32 rng_;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+};
+
+/// Closed-loop driver: each client keeps `inflight_per_client`
+/// operations outstanding until `total_ops` have been issued.
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(std::vector<FleetClient*> clients,
+                   uint32_t inflight_per_client, uint64_t total_ops);
+
+  void Start();
+
+  uint64_t issued() const { return issued_; }
+  uint64_t completed() const { return completed_; }
+
+ private:
+  void IssueNext(FleetClient* client);
+
+  std::vector<FleetClient*> clients_;
+  uint32_t inflight_per_client_;
+  uint64_t total_ops_;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+};
+
+/// Merges every client's latency histogram (Histogram::Merge) and sums
+/// their counters — the fleet-level view a single server cannot give.
+struct FleetWorkloadSummary {
+  FleetClient::Stats totals;
+  Histogram latency_ns;
+};
+FleetWorkloadSummary Summarize(const std::vector<FleetClient*>& clients);
+
+}  // namespace dpdpu::cluster
+
+#endif  // DPDPU_CLUSTER_WORKLOAD_H_

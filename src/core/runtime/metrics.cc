@@ -36,4 +36,14 @@ std::string Fmt(double value, int decimals) {
   return buf;
 }
 
+void EmitJsonMetric(const std::string& bench, const std::string& metric,
+                    double value, const std::string& unit, uint64_t seed) {
+  // Metric names in this repo are identifier-shaped; no escaping needed.
+  std::printf(
+      "{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.17g,\"unit\":\"%s\","
+      "\"seed\":%llu}\n",
+      bench.c_str(), metric.c_str(), value, unit.c_str(),
+      (unsigned long long)seed);
+}
+
 }  // namespace dpdpu::rt

@@ -39,6 +39,14 @@ class UtilizationProbe {
 /// Formats a double with fixed precision (bench table output helper).
 std::string Fmt(double value, int decimals = 2);
 
+/// Emits one machine-readable metric line to stdout, alongside the human
+/// tables, so perf trajectories can be scraped into BENCH_*.json files:
+///   {"bench":"<bench>","metric":"<metric>","value":<v>,"unit":"<unit>","seed":<seed>}
+/// Values are printed with enough precision to round-trip a double.
+void EmitJsonMetric(const std::string& bench, const std::string& metric,
+                    double value, const std::string& unit,
+                    uint64_t seed = 0);
+
 }  // namespace dpdpu::rt
 
 #endif  // DPDPU_CORE_RUNTIME_METRICS_H_

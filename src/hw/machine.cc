@@ -102,6 +102,18 @@ ServerSpec DefaultServerSpec(std::string name) {
   return MakeServerSpec(std::move(name), BlueField2Spec());
 }
 
+ServerSpec StorageServerSpec(std::string name) {
+  return DefaultServerSpec(std::move(name));
+}
+
+ServerSpec ComputeNodeSpec(std::string name) {
+  ServerSpec spec = DefaultServerSpec(std::move(name));
+  spec.host_memory_bytes = 64ull << 30;
+  spec.dpu.log_device_write_latency_ns = 0;  // no fast-persistence device
+  spec.dpu.log_device_bytes_per_sec = 0;
+  return spec;
+}
+
 ServerSpec MakeServerSpec(std::string name, DpuSpec dpu) {
   ServerSpec spec;
   spec.name = std::move(name);

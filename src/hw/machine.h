@@ -63,6 +63,13 @@ CpuSpec HostEpycSpec(uint32_t cores = 0);  // 0 = calibrated default
 ServerSpec DefaultServerSpec(std::string name = "server");
 ServerSpec MakeServerSpec(std::string name, DpuSpec dpu);
 
+/// Fleet presets (src/cluster). A storage server is the default BF-2
+/// machine; a compute/client node keeps the DPU NIC path but carries less
+/// host memory and no fast log device — it originates requests rather
+/// than serving storage.
+ServerSpec StorageServerSpec(std::string name);
+ServerSpec ComputeNodeSpec(std::string name);
+
 /// Instantiated server: owns the simulation resources for one machine.
 class Server {
  public:

@@ -18,11 +18,16 @@ void Network::Send(Packet packet) {
     ++dropped_;
     return;
   }
+  if (!IsUp(packet.src) || !IsUp(packet.dst)) {
+    ++dropped_;
+    ++dropped_node_down_;
+    return;
+  }
   bool lost = loss_rate_ > 0.0 && loss_rng_.NextBool(loss_rate_);
   size_t wire = packet.wire_size();
   // Serialize on the sender's NIC; deliver at the far end unless lost.
   src_it->second.nic->Transmit(
-      wire, [this, packet = std::move(packet), lost]() mutable {
+      wire, [this, packet = std::move(packet), lost, wire]() mutable {
         if (lost) {
           ++dropped_;
           return;
@@ -32,9 +37,31 @@ void Network::Send(Packet packet) {
           ++dropped_;
           return;
         }
+        // The destination may have gone dark while the frame was in
+        // flight; it is lost at the dead NIC.
+        if (!IsUp(packet.dst)) {
+          ++dropped_;
+          ++dropped_node_down_;
+          return;
+        }
         ++delivered_;
+        bytes_delivered_ += wire;
+        it->second.rx_bytes += wire;
         it->second.handler(std::move(packet));
       });
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  if (up) {
+    down_.erase(node);
+  } else {
+    down_[node] = true;
+  }
+}
+
+uint64_t Network::bytes_delivered_to(NodeId node) const {
+  auto it = endpoints_.find(node);
+  return it == endpoints_.end() ? 0 : it->second.rx_bytes;
 }
 
 }  // namespace dpdpu::netsub

@@ -65,21 +65,36 @@ class Network {
     loss_rng_ = Pcg32(seed);
   }
 
+  /// Administrative liveness: a down node's frames (both directions) are
+  /// dropped at the fabric, modeling a machine that went dark. Nodes start
+  /// up; the cluster layer flips this for hard failure injection.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsUp(NodeId node) const { return down_.count(node) == 0; }
+
   uint64_t packets_delivered() const { return delivered_; }
   uint64_t packets_dropped() const { return dropped_; }
+  uint64_t packets_dropped_node_down() const { return dropped_node_down_; }
+
+  /// Payload+header bytes delivered to `node` (fleet fabric accounting).
+  uint64_t bytes_delivered_to(NodeId node) const;
+  uint64_t total_bytes_delivered() const { return bytes_delivered_; }
 
  private:
   struct Endpoint {
     hw::NicPort* nic;
     RxHandler handler;
+    uint64_t rx_bytes = 0;
   };
 
   sim::Simulator* sim_;
   std::map<NodeId, Endpoint> endpoints_;
+  std::map<NodeId, bool> down_;  // presence = down
   double loss_rate_ = 0.0;
   Pcg32 loss_rng_;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t dropped_node_down_ = 0;
+  uint64_t bytes_delivered_ = 0;
 };
 
 }  // namespace dpdpu::netsub

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/function.h"
@@ -106,6 +108,51 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   std::vector<Event> heap_;
+};
+
+/// A repeating event: fires `fn` every `interval` ns until Cancel() or
+/// destruction. Multi-machine drivers (fleet utilization sampling,
+/// workload pacing) need cancelable repetition; scheduled closures cannot
+/// be removed from the heap, so cancellation is a shared liveness flag
+/// checked at fire time.
+class PeriodicTask {
+ public:
+  using Fn = std::function<void()>;
+
+  PeriodicTask() = default;
+  ~PeriodicTask() { Cancel(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Starts firing `fn` every `interval` ns, first fire at now+interval.
+  /// Restarting cancels the previous schedule.
+  void Start(Simulator* sim, SimTime interval, Fn fn) {
+    DPDPU_CHECK(interval > 0);
+    Cancel();
+    alive_ = std::make_shared<bool>(true);
+    ScheduleNext(sim, interval, std::move(fn));
+  }
+
+  void Cancel() {
+    if (alive_) *alive_ = false;
+    alive_.reset();
+  }
+
+  bool active() const { return alive_ != nullptr && *alive_; }
+
+ private:
+  void ScheduleNext(Simulator* sim, SimTime interval, Fn fn) {
+    sim->Schedule(interval, [this, sim, interval, fn = std::move(fn),
+                             alive = alive_]() mutable {
+      if (!*alive) return;
+      fn();
+      if (!*alive) return;  // fn may have canceled us
+      ScheduleNext(sim, interval, std::move(fn));
+    });
+  }
+
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace dpdpu::sim

@@ -1,0 +1,282 @@
+// Tests for the cluster subsystem: consistent-hash shard routing
+// (balance, stability, failover), fleet assembly, open/closed-loop
+// workloads, fleet-aggregated metrics, deterministic replay, and
+// fail/recover behavior (graceful drain and hard node-dark with
+// timeout re-steer).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "cluster/shard_router.h"
+#include "cluster/workload.h"
+#include "common/rng.h"
+
+namespace dpdpu::cluster {
+namespace {
+
+std::vector<netsub::NodeId> Servers(uint32_t n) {
+  std::vector<netsub::NodeId> ids;
+  for (uint32_t i = 0; i < n; ++i) ids.push_back(i + 1);
+  return ids;
+}
+
+// A small fleet spec sized for test speed (tight fs devices, 1 MB
+// shards).
+FleetSpec SmallFleetSpec(uint32_t storage, uint32_t clients,
+                         uint32_t replication) {
+  FleetSpec spec;
+  spec.storage_servers = storage;
+  spec.clients = clients;
+  spec.routing.replication = replication;
+  spec.shard_bytes = 1 << 20;
+  spec.storage_template.fs_device_blocks = 2048;  // 8 MB device
+  spec.client_template.fs_device_blocks = 1024;
+  return spec;
+}
+
+WorkloadOptions SmallWorkload() {
+  WorkloadOptions options;
+  options.keyspace = 128;  // 128 x 8 KB = the 1 MB shard
+  return options;
+}
+
+TEST(ShardRouterTest, HashIsDeterministic) {
+  EXPECT_EQ(HashKey("user:42"), HashKey("user:42"));
+  EXPECT_NE(HashKey("user:42"), HashKey("user:43"));
+  EXPECT_EQ(HashU64(7), HashU64(7));
+  EXPECT_NE(HashU64(7), HashU64(8));
+}
+
+TEST(ShardRouterTest, SpreadsKeysAcrossServers) {
+  ShardRouter router(Servers(8), {});
+  Pcg32 rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(router.Route(rng.Next64()).has_value());
+  }
+  uint64_t min = UINT64_MAX, max = 0;
+  for (const auto& [node, count] : router.routed()) {
+    min = std::min(min, count);
+    max = std::max(max, count);
+  }
+  EXPECT_EQ(router.routed().size(), 8u) << "some server got no keys";
+  // 64 vnodes/server keeps the spread well inside 3x.
+  EXPECT_LT(max, 3 * min) << "consistent hashing badly imbalanced";
+}
+
+TEST(ShardRouterTest, PreferenceListIsDistinctAndStable) {
+  ShardRouter router(Servers(5), {.vnodes_per_server = 32,
+                                  .replication = 3});
+  Pcg32 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t hash = rng.Next64();
+    auto prefs = router.PreferenceList(hash);
+    ASSERT_EQ(prefs.size(), 3u);
+    EXPECT_NE(prefs[0], prefs[1]);
+    EXPECT_NE(prefs[1], prefs[2]);
+    EXPECT_NE(prefs[0], prefs[2]);
+    EXPECT_EQ(prefs, router.PreferenceList(hash));
+  }
+}
+
+TEST(ShardRouterTest, FailoverMovesOnlyTheFailedServersKeys) {
+  ShardRouter router(Servers(4), {.vnodes_per_server = 64,
+                                  .replication = 2});
+  Pcg32 rng(3);
+  std::vector<uint64_t> hashes;
+  for (int i = 0; i < 2000; ++i) hashes.push_back(rng.Next64());
+
+  std::map<uint64_t, netsub::NodeId> before;
+  for (uint64_t h : hashes) before[h] = *router.Route(h);
+
+  router.MarkDown(2);
+  for (uint64_t h : hashes) {
+    netsub::NodeId now = *router.Route(h);
+    if (before[h] != 2) {
+      EXPECT_EQ(now, before[h]) << "unrelated key remapped on failure";
+    } else {
+      EXPECT_NE(now, 2u);
+      EXPECT_EQ(now, router.PreferenceList(h)[1])
+          << "failed primary must re-steer to its replica";
+    }
+  }
+
+  router.MarkUp(2);
+  for (uint64_t h : hashes) {
+    EXPECT_EQ(*router.Route(h), before[h]) << "recovery must restore";
+  }
+}
+
+TEST(ShardRouterTest, AllReplicasDownRoutesNowhere) {
+  ShardRouter router(Servers(2), {.replication = 2});
+  router.MarkDown(1);
+  router.MarkDown(2);
+  EXPECT_FALSE(router.Route(123).has_value());
+  EXPECT_EQ(router.live_servers(), 0u);
+}
+
+TEST(PeriodicTaskTest, FiresUntilCanceled) {
+  sim::Simulator sim;
+  int fires = 0;
+  sim::PeriodicTask task;
+  task.Start(&sim, 10, [&] {
+    if (++fires == 5) task.Cancel();
+  });
+  sim.RunFor(1000);
+  EXPECT_EQ(fires, 5);
+  EXPECT_FALSE(task.active());
+}
+
+TEST(FleetTest, ClosedLoopCompletesAndReplaysIdentically) {
+  auto run = [](uint64_t seed) {
+    sim::Simulator sim;
+    Fleet fleet(&sim, SmallFleetSpec(2, 2, 2));
+    WorkloadOptions wopts = SmallWorkload();
+    wopts.seed = seed;
+    FleetClient c0(&fleet, 0, wopts), c1(&fleet, 1, wopts);
+    ClosedLoopDriver driver({&c0, &c1}, 4, 200);
+    fleet.StartProbes();
+    driver.Start();
+    sim.Run();
+    fleet.StopProbes();
+    FleetWorkloadSummary summary = Summarize({&c0, &c1});
+    return std::tuple(summary.totals, summary.latency_ns.Mean(),
+                      sim.now(), fleet.Usage().fabric_bytes);
+  };
+  auto [totals, mean, end, fabric] = run(5);
+  EXPECT_EQ(totals.issued, 200u);
+  EXPECT_EQ(totals.completed, 200u);
+  EXPECT_EQ(totals.failed, 0u);
+  EXPECT_GT(fabric, 200u * 8192u) << "8 KB payloads must cross the fabric";
+
+  auto [totals2, mean2, end2, fabric2] = run(5);
+  EXPECT_EQ(totals2.completed, totals.completed);
+  EXPECT_EQ(end2, end) << "same seed must replay bit-for-bit";
+  EXPECT_EQ(mean2, mean);
+  EXPECT_EQ(fabric2, fabric);
+
+  auto [totals3, mean3, end3, fabric3] = run(6);
+  (void)totals3;
+  (void)fabric3;
+  EXPECT_TRUE(end3 != end || mean3 != mean)
+      << "different seed should perturb the trace";
+}
+
+TEST(FleetTest, MixedWorkloadWritesReplicate) {
+  sim::Simulator sim;
+  Fleet fleet(&sim, SmallFleetSpec(3, 2, 2));
+  WorkloadOptions wopts = SmallWorkload();
+  wopts.read_fraction = 0.5;
+  FleetClient c0(&fleet, 0, wopts), c1(&fleet, 1, wopts);
+  ClosedLoopDriver driver({&c0, &c1}, 2, 100);
+  driver.Start();
+  sim.Run();
+  FleetWorkloadSummary summary = Summarize({&c0, &c1});
+  EXPECT_EQ(summary.totals.issued, 100u);
+  EXPECT_EQ(summary.totals.completed, 100u);
+  EXPECT_EQ(summary.totals.failed, 0u);
+}
+
+TEST(FleetTest, GracefulFailureLosesNothingAndResteers) {
+  sim::Simulator sim;
+  Fleet fleet(&sim, SmallFleetSpec(3, 3, 2));
+  WorkloadOptions wopts = SmallWorkload();
+  std::vector<std::unique_ptr<FleetClient>> owned;
+  std::vector<FleetClient*> clients;
+  for (uint32_t i = 0; i < 3; ++i) {
+    owned.push_back(std::make_unique<FleetClient>(&fleet, i, wopts));
+    clients.push_back(owned.back().get());
+  }
+  OpenLoopDriver driver(clients, 100e3, 9);
+
+  constexpr sim::SimTime kWindow = 4 * sim::kMillisecond;
+  uint64_t routed_at_failure = 0;
+  netsub::NodeId failed = fleet.storage_node_id(1);
+  sim.ScheduleAt(kWindow / 2, [&] {
+    auto it = fleet.router().routed().find(failed);
+    routed_at_failure =
+        it == fleet.router().routed().end() ? 0 : it->second;
+    fleet.FailStorageNode(1, FailMode::kGraceful);
+  });
+  driver.Run(kWindow);
+  sim.Run();
+
+  FleetWorkloadSummary summary = Summarize(clients);
+  EXPECT_GT(summary.totals.issued, 100u);
+  EXPECT_EQ(summary.totals.completed, summary.totals.issued)
+      << "graceful failover must not lose requests";
+  EXPECT_EQ(summary.totals.failed, 0u);
+  auto it = fleet.router().routed().find(failed);
+  uint64_t routed_total = it == fleet.router().routed().end()
+                              ? 0
+                              : it->second;
+  EXPECT_EQ(routed_total, routed_at_failure)
+      << "no new traffic may reach a failed node";
+  EXPECT_FALSE(fleet.IsStorageNodeUp(1));
+}
+
+TEST(FleetTest, HardFailureRecoversViaTimeoutResteer) {
+  sim::Simulator sim;
+  Fleet fleet(&sim, SmallFleetSpec(2, 1, 2));
+  WorkloadOptions wopts = SmallWorkload();
+  wopts.retry_timeout = 500 * sim::kMicrosecond;
+  wopts.max_attempts = 3;
+  FleetClient client(&fleet, 0, wopts);
+
+  // Issue a burst, then the primary-for-some-keys node goes dark with
+  // requests in flight. Timeouts must re-steer them to the replica.
+  for (int i = 0; i < 40; ++i) client.IssueOne();
+  sim.ScheduleAt(5 * sim::kMicrosecond,
+                 [&] { fleet.FailStorageNode(0, FailMode::kHard); });
+  // The dead node's TCP peers retransmit forever; bound virtual time
+  // instead of draining the queue.
+  sim.RunFor(100 * sim::kMillisecond);
+
+  EXPECT_EQ(client.stats().issued, 40u);
+  EXPECT_EQ(client.stats().completed, 40u)
+      << "every request must finish on the replica";
+  EXPECT_EQ(client.stats().failed, 0u);
+  EXPECT_GT(client.stats().resteered, 0u)
+      << "some in-flight requests must have re-steered";
+  EXPECT_GT(fleet.fabric().packets_dropped_node_down(), 0u);
+}
+
+TEST(FleetTest, UsageAggregatesAndTimelineSamples) {
+  sim::Simulator sim;
+  FleetSpec spec = SmallFleetSpec(2, 2, 1);
+  // Baseline TCP keeps the storage hosts visibly busy.
+  spec.storage_template.network.tcp_mode = ne::TcpMode::kHostKernel;
+  Fleet fleet(&sim, spec);
+  WorkloadOptions wopts = SmallWorkload();
+  wopts.offload_fraction = 0.0;
+  FleetClient c0(&fleet, 0, wopts), c1(&fleet, 1, wopts);
+  ClosedLoopDriver driver({&c0, &c1}, 4, 300);
+
+  fleet.StartProbes();
+  fleet.SampleStorageCoresEvery(100 * sim::kMicrosecond);
+  driver.Start();
+  // While sampling is active the event queue is never empty; stop it
+  // from inside virtual time so Run() can drain.
+  sim.ScheduleAt(5 * sim::kMillisecond, [&] { fleet.StopSampling(); });
+  sim.Run();
+  fleet.StopProbes();
+
+  FleetUsage usage = fleet.Usage();
+  EXPECT_GT(usage.storage_host_cores, 0.0)
+      << "host-path requests must consume storage host cores";
+  EXPECT_GT(usage.dpu_cores, 0.0);
+  EXPECT_GE(usage.host_cores, usage.storage_host_cores);
+  EXPECT_GT(usage.fabric_bytes, 0u);
+  EXPECT_GT(fleet.storage_host_core_timeline().size(), 0u);
+  for (double cores : fleet.storage_host_core_timeline()) {
+    EXPECT_GE(cores, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dpdpu::cluster

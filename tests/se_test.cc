@@ -405,6 +405,145 @@ TEST(RemoteStorageTest, UdfTranslatesRequests) {
   EXPECT_EQ(std::memcmp(got.data(), data.data() + 8192, 4096), 0);
 }
 
+// --------------------------------------------------------------------------
+// Traffic director policy (partial offload, DDS question Q2).
+// --------------------------------------------------------------------------
+
+TEST(TrafficDirectorTest, DefaultPolicySplitsOnRequiresHostFlag) {
+  SeFixture f;
+  TrafficDirector& director = f.platform.storage().director();
+  RemoteRequest offloadable;
+  RemoteRequest host_only;
+  host_only.flags = kRequestFlagRequiresHost;
+  EXPECT_EQ(director.Classify(offloadable), TrafficDirector::Route::kDpu);
+  EXPECT_EQ(director.Classify(host_only), TrafficDirector::Route::kHost);
+  EXPECT_EQ(director.Classify(offloadable), TrafficDirector::Route::kDpu);
+  EXPECT_EQ(director.routed_to_dpu(), 2u);
+  EXPECT_EQ(director.routed_to_host(), 1u);
+}
+
+TEST(TrafficDirectorTest, CustomClassifierOverridesFlag) {
+  SeFixture f;
+  TrafficDirector& director = f.platform.storage().director();
+  // Policy by offset range instead of by flag: only the first 1 MB of a
+  // file is DPU-resident (e.g. a hot index prefix).
+  director.SetClassifier([](const RemoteRequest& request) {
+    return request.offset < (1u << 20);
+  });
+  RemoteRequest low, high;
+  low.offset = 4096;
+  low.flags = kRequestFlagRequiresHost;  // custom policy ignores flags
+  high.offset = 2u << 20;
+  EXPECT_EQ(director.Classify(low), TrafficDirector::Route::kDpu);
+  EXPECT_EQ(director.Classify(high), TrafficDirector::Route::kHost);
+  EXPECT_EQ(director.routed_to_dpu(), 1u);
+  EXPECT_EQ(director.routed_to_host(), 1u);
+}
+
+TEST(TrafficDirectorTest, ClassifyChargesTheDpuNotTheHost) {
+  SeFixture f;
+  TrafficDirector& director = f.platform.storage().director();
+  rt::UtilizationProbe probe(&f.platform.server());
+  probe.Start();
+  RemoteRequest request;
+  for (int i = 0; i < 1000; ++i) director.Classify(request);
+  f.sim.Run();
+  probe.Stop();
+  EXPECT_GT(probe.dpu_cores(), 0.0)
+      << "the per-packet decision must cost DPU cycles";
+  EXPECT_EQ(probe.host_cores(), 0.0)
+      << "classification must not touch host cores";
+}
+
+TEST(RemoteStorageTest, PartialOffloadSplitMatchesDirectorCounters) {
+  RemoteFixture f;
+  Buffer data = kern::GenerateRandomBytes(256 * 1024, 11);
+  fssub::FileId file = f.Prepare(data.span());
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+
+  // 70/30 offloadable/host split, deterministic pattern.
+  constexpr int kRequests = 100;
+  int done = 0, flagged = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    uint8_t flags = (i % 10) < 3 ? kRequestFlagRequiresHost : 0;
+    flagged += flags ? 1 : 0;
+    rsc.Read(file, uint64_t(i) * 2048, 2048,
+             [&](Result<Buffer> d) {
+               ASSERT_TRUE(d.ok());
+               ++done;
+             },
+             flags);
+  }
+  f.sim.Run();
+  EXPECT_EQ(done, kRequests);
+  TrafficDirector& director = f.server->storage().director();
+  EXPECT_EQ(director.routed_to_host(), uint64_t(flagged));
+  EXPECT_EQ(director.routed_to_dpu(), uint64_t(kRequests - flagged));
+  // Every DPU-routed request executed on the offload engine; host-routed
+  // ones did not.
+  EXPECT_EQ(f.server->storage().offload_engine().requests_executed(),
+            uint64_t(kRequests - flagged));
+}
+
+// --------------------------------------------------------------------------
+// Offload engine (UDF translation edge cases, persist mode).
+// --------------------------------------------------------------------------
+
+TEST(RemoteStorageTest, UdfFailureProducesErrorResponse) {
+  RemoteFixture f;
+  Buffer data = kern::GenerateRandomBytes(8192, 13);
+  fssub::FileId file = f.Prepare(data.span());
+  f.server->storage().offload_engine().SetUdf(
+      [](const RemoteRequest& in) -> Result<RemoteRequest> {
+        if (in.offset == 0) {
+          return Status::InvalidArgument("UDF rejects offset 0");
+        }
+        return in;
+      });
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+
+  bool rejected = false, served = false;
+  rsc.Read(file, 0, 4096, [&](Result<Buffer> d) {
+    EXPECT_FALSE(d.ok()) << "UDF rejection must reach the client as !ok";
+    rejected = true;
+  });
+  rsc.Read(file, 4096, 4096, [&](Result<Buffer> d) {
+    EXPECT_TRUE(d.ok());
+    served = true;
+  });
+  f.sim.Run();
+  EXPECT_TRUE(rejected);
+  EXPECT_TRUE(served);
+  // Both requests reached the engine; failure still counts as executed.
+  EXPECT_EQ(f.server->storage().offload_engine().requests_executed(), 2u);
+}
+
+TEST(RemoteStorageTest, OffloadEnginePersistModeAppliesToRemoteWrites) {
+  RemoteFixture f;
+  fssub::FileId file = f.Prepare(Buffer("seed").span());
+  f.server->storage().offload_engine().SetPersistMode(
+      PersistMode::kDpuLogAck);
+  RemoteStorageClient rsc(&f.client->network(), 1, 9000);
+
+  Buffer payload = kern::GenerateRandomBytes(8192, 21);
+  bool wrote = false;
+  rsc.Write(file, 0, payload, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    wrote = true;
+  });
+  f.sim.Run();
+  ASSERT_TRUE(wrote);
+  EXPECT_EQ(f.server->storage().file_service().stats().log_acked_writes, 1u)
+      << "offloaded writes must honor the engine's persist mode";
+
+  Buffer got;
+  rsc.Read(file, 0, 8192, [&](Result<Buffer> d) {
+    got = std::move(d).value();
+  });
+  f.sim.Run();
+  EXPECT_EQ(got, payload);
+}
+
 TEST(RemoteStorageTest, ReadBeyondFileFailsCleanly) {
   RemoteFixture f;
   fssub::FileId file = f.Prepare(Buffer("tiny").span());
