@@ -95,6 +95,7 @@ double Run(double dpu_cache_share, double host_fraction) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Ablation: host/DPU cache split (Section 9) ===\n");
   std::printf("32 MB total cache, Zipf(0.99) over a 128 MB file; mean "
               "read latency (us)\n\n");
@@ -119,5 +120,7 @@ int main() {
               "memory, host-heavy in host memory; the optimum split "
               "tracks the workload mix (the Section 9 sizing "
               "challenge).\n");
+  rt::EmitWallClockMetrics("abl_cache_split", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

@@ -75,6 +75,7 @@ double RunGpu(size_t bytes, int jobs, bool fused) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Ablation: DP kernel fusion on a PCIe accelerator "
               "(Section 5) ===\n");
   std::printf("compress+encrypt chain over 1 MB inputs; makespan (ms)\n\n");
@@ -95,5 +96,7 @@ int main() {
   std::printf("\nshape: fusing the chain removes one PCIe round trip and "
               "one kernel launch per job; the gain is largest for short "
               "chains where data movement dominates.\n");
+  rt::EmitWallClockMetrics("abl_fusion", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

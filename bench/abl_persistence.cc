@@ -57,6 +57,7 @@ Histogram Run(se::PersistMode mode, size_t write_bytes, int writes) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Ablation: fast persistence (Section 9) ===\n");
   std::printf("remote write ack latency: SSD write-through vs DPU "
               "log-device ack\n\n");
@@ -85,5 +86,7 @@ int main() {
               "crosses over — for large writes, where the slower log "
               "device's streaming time exceeds the SSD's, one of the "
               "trade-offs the Section 9 design must navigate.\n");
+  rt::EmitWallClockMetrics("abl_persistence", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

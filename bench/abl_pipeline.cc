@@ -121,6 +121,7 @@ double RunBarrier(int pages) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Ablation: streamed vs barrier pipelines (Section 4) "
               "===\n");
   std::printf("read -> compress(ASIC) -> send over 128 KB pages; "
@@ -139,5 +140,7 @@ int main() {
   }
   std::printf("\nshape: streaming overlaps SSD, ASIC, and NIC work; the "
               "barrier pays the sum of stage makespans.\n");
+  rt::EmitWallClockMetrics("abl_pipeline", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

@@ -69,6 +69,7 @@ RunResult Run(hw::DpuSpec dpu, bool scheduled) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Ablation: specified vs scheduled execution across "
               "DPUs ===\n");
   std::printf("job mix: 10x (compress + encrypt + regex) over 1 MB "
@@ -106,5 +107,7 @@ int main() {
               "scheduled execution wins by spreading work across DPU and "
               "host CPUs instead of serializing on the fallback the user "
               "hard-coded.\n");
+  rt::EmitWallClockMetrics("abl_placement", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

@@ -78,6 +78,7 @@ double RunPlacementMakespan(ce::PlacementPolicy policy, int jobs) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Ablation: CE scheduling (Section 5) ===\n\n");
 
   std::printf("-- multi-tenant ASIC admission: FCFS vs DRR --\n");
@@ -114,5 +115,7 @@ int main() {
                      asic_only / model, "x");
   rt::EmitJsonMetric("abl_scheduling", "model_vs_cpu_only_speedup",
                      cpu_only / model, "x");
+  rt::EmitWallClockMetrics("abl_scheduling", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

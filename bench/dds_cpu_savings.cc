@@ -86,6 +86,7 @@ Point Run(double rate, double offload_fraction) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== DDS CPU savings (Section 9: \"save up to 10s of CPU "
               "cores per storage server\") ===\n");
   std::printf("remote 8 KB reads; storage-server host cores vs request "
@@ -114,5 +115,7 @@ int main() {
               "full offload at 1M reads/s saves >10 host cores "
               "(network + storage stacks), matching \"10s of cores\" at "
               "production rates.\n");
+  rt::EmitWallClockMetrics("dds_cpu_savings", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

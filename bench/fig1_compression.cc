@@ -35,6 +35,7 @@ sim::SimTime CompressOnce(ce::ExecTarget target, size_t bytes) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Figure 1: compression performance on different "
               "hardware ===\n");
   std::printf("DEFLATE over Zipfian text; latency per dataset "
@@ -62,5 +63,7 @@ int main() {
   std::printf("\nshape check: EPYC < Arm per size; ASIC beats EPYC by "
               "%.0f-%.0fx (paper: \"an order of magnitude\")\n",
               min_gain, max_gain);
+  rt::EmitWallClockMetrics("fig1_compression", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

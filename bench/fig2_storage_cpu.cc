@@ -68,6 +68,7 @@ Point RunAtRate(se::HostIoPath path, double iops) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Figure 2: CPU consumption of storage access ===\n");
   std::printf("8 KB page reads; host cores consumed vs IOPS\n\n");
   std::printf("%10s | %12s | %22s\n", "", "linux stack", "DPDPU SE offload");
@@ -90,5 +91,7 @@ int main() {
   }
   std::printf("\nshape check: linear growth; ~2.7 host cores at 450K "
               "pages/s (paper anchor); SE offload frees the host.\n");
+  rt::EmitWallClockMetrics("fig2_storage_cpu", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

@@ -72,6 +72,7 @@ Point RunAtGbps(ne::TcpMode mode, double gbps) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Figure 3: CPU consumption of network communication "
               "===\n");
   std::printf("8 KB messages over 100 Gbps; sender CPU cores vs offered "
@@ -96,5 +97,7 @@ int main() {
   std::printf("\nshape check: host CPU grows with bandwidth and reaches "
               "multiple cores near line rate; the NE moves that cost to "
               "the DPU's efficient cores.\n");
+  rt::EmitWallClockMetrics("fig3_network_cpu", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

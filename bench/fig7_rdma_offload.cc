@@ -66,6 +66,7 @@ Point Run(ne::RdmaPath path, size_t op_bytes, int ops) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Figure 7: DPU-optimized RDMA ===\n");
   std::printf("one-sided WRITEs; host/DPU busy-time per op and "
               "completion throughput\n\n");
@@ -94,5 +95,7 @@ int main() {
               "several times (lock-free ring write vs lock+fence+doorbell "
               "stall) while sustaining throughput; the DPU absorbs the "
               "issuing work.\n");
+  rt::EmitWallClockMetrics("fig7_rdma_offload", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

@@ -86,6 +86,7 @@ Point Run(bool offload, int requests, int outstanding) {
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Figure 8: disaggregated storage round trips, host "
               "path vs DPDPU SE ===\n");
   std::printf("remote 8 KB reads (SSD-resident, cold cache)\n\n");
@@ -123,5 +124,7 @@ int main() {
               "trades a little latency (its cores also run the TCP "
               "stack) for freeing the host entirely -- DDS's headline "
               "is the CPU, not the microseconds.\n");
+  rt::EmitWallClockMetrics("fig8_dds_path", wall_timer,
+                           sim::Simulator::TotalEventsExecuted());
   return 0;
 }

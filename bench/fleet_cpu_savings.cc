@@ -112,6 +112,7 @@ FleetPoint RunFleet(uint32_t n_storage, uint32_t n_clients,
 }  // namespace
 
 int main() {
+  rt::WallTimer wall_timer;
   std::printf("=== Fleet DDS CPU savings (8 storage servers, 32 clients, "
               "%.0fK reads/s per server) ===\n\n",
               kRatePerServer / 1000);
@@ -192,5 +193,7 @@ int main() {
                      deterministic ? 1 : 0, "bool", kSeed);
 
   bool ok = std::fabs(ratio - 1.0) <= 0.15 && deterministic && no_loss;
+  rt::EmitWallClockMetrics("fleet_cpu_savings", wall_timer,
+                           sim::Simulator::TotalEventsExecuted(), kSeed);
   return ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include "kern/crc32.h"
 #include "kern/dedup.h"
 #include "kern/deflate.h"
+#include "kern/huffman.h"
 #include "kern/regex.h"
 #include "kern/relational.h"
 #include "kern/textgen.h"
@@ -66,6 +67,41 @@ void BM_Crc32(benchmark::State& state) {
   state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_Crc32)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  // Encode a text corpus's byte stream with its own optimal length-limited
+  // code, then measure pure symbol decode throughput through DecodeFast.
+  Buffer text = kern::GenerateText(size_t(state.range(0)), {});
+  std::vector<uint64_t> freqs(256, 0);
+  for (size_t i = 0; i < text.size(); ++i) freqs[text.span()[i]]++;
+  std::vector<uint8_t> lengths =
+      kern::PackageMergeLengths(freqs, kern::kMaxHuffmanBits);
+  std::vector<uint32_t> codes = kern::CanonicalCodes(lengths);
+  Buffer encoded;
+  {
+    kern::BitWriter writer(&encoded);
+    for (size_t i = 0; i < text.size(); ++i) {
+      uint8_t s = text.span()[i];
+      writer.WriteHuffmanCode(codes[s], lengths[s]);
+    }
+    writer.AlignToByte();
+  }
+  auto decoder = kern::HuffmanDecoder::Build(lengths);
+  DPDPU_CHECK(decoder.ok());
+  for (auto _ : state) {
+    kern::BitReader reader(encoded.span());
+    int symbol = 0;
+    uint64_t sum = 0;
+    for (size_t i = 0; i < text.size(); ++i) {
+      DPDPU_CHECK(decoder->DecodeFast(reader, &symbol).ok());
+      sum += uint64_t(symbol);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  // One symbol decodes to one byte of the original corpus.
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_RegexCount(benchmark::State& state) {
   Buffer text = kern::GenerateText(size_t(state.range(0)), {});
@@ -142,6 +178,23 @@ void BM_SimulatorEvents(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
 }
 BENCHMARK(BM_SimulatorEvents);
+
+void BM_PeriodicTaskTicks(benchmark::State& state) {
+  // Steady-state periodic sampling: exercises the once-wrapped callback
+  // path (per tick, one shared_ptr-sized closure in the SBO buffer).
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::PeriodicTask task;
+    uint64_t ticks = 0;
+    task.Start(&sim, 10, [&] {
+      if (++ticks == 1000) task.Cancel();
+    });
+    sim.Run();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_PeriodicTaskTicks);
 
 void BM_Histogram(benchmark::State& state) {
   Histogram h;

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Runs the repo's bench binaries and compares their emitted metrics against
+the committed baseline (bench/BASELINE.json):
+
+  * Simulated metrics (the `{"bench":...}` JSON lines with sim-domain
+    units) are products of the deterministic simulator: they must match
+    the baseline BIT-EXACTLY. Any drift means a behavior change, not a
+    perf change, and fails the check.
+  * Wall-clock metrics ("seconds", "events_per_sec" lines and
+    google-benchmark bytes/items-per-second counters) are jitter-prone,
+    especially on shared CI runners, so they get a generous tolerance:
+    throughputs may not drop below baseline/TOL, runtimes may not exceed
+    baseline*TOL (default TOL=3).
+
+Usage:
+  python3 scripts/check_bench.py --build-dir build          # check
+  python3 scripts/check_bench.py --build-dir build --update # re-baseline
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "bench", "BASELINE.json")
+
+# Units whose values are wall-clock measurements (tolerance-checked).
+# Everything else comes out of the deterministic simulator (exact-checked).
+WALL_RUNTIME_UNITS = {"seconds"}
+WALL_THROUGHPUT_UNITS = {"events_per_sec", "bytes_per_second",
+                         "items_per_second"}
+
+# Micro-kernel benches gated in CI; a filter keeps the job fast.
+MICRO_FILTER = ("BM_Crc32|BM_DeflateDecompress|BM_HuffmanDecode|"
+                "BM_SimulatorEvents|BM_PeriodicTaskTicks")
+
+
+def run_fleet(build_dir):
+    """Runs fleet_cpu_savings; returns {key: (value, unit)}."""
+    exe = os.path.join(build_dir, "bench", "fleet_cpu_savings")
+    out = subprocess.run([exe], capture_output=True, text=True, check=True)
+    metrics = {}
+    for line in out.stdout.splitlines():
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        key = f"{rec['bench']}/{rec['metric']}"
+        metrics[key] = (rec["value"], rec["unit"])
+    return metrics
+
+
+def run_micro(build_dir):
+    """Runs the micro-kernel subset; returns {key: (value, unit)}."""
+    exe = os.path.join(build_dir, "bench", "micro_kernels")
+    out = subprocess.run(
+        [exe, f"--benchmark_filter={MICRO_FILTER}",
+         "--benchmark_format=json", "--benchmark_min_time=0.2"],
+        capture_output=True, text=True, check=True)
+    doc = json.loads(out.stdout)
+    metrics = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        for counter in ("bytes_per_second", "items_per_second"):
+            if counter in bench:
+                metrics[f"micro/{name}"] = (bench[counter], counter)
+    return metrics
+
+
+def classify(unit):
+    if unit in WALL_RUNTIME_UNITS:
+        return "wall_runtime"
+    if unit in WALL_THROUGHPUT_UNITS:
+        return "wall_throughput"
+    return "simulated"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="wall-clock tolerance factor (default 3x)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args()
+
+    current = {}
+    current.update(run_fleet(args.build_dir))
+    current.update(run_micro(args.build_dir))
+
+    if args.update:
+        doc = {key: {"value": value, "unit": unit}
+               for key, (value, unit) in sorted(current.items())}
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline} ({len(doc)} metrics)")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    checked = 0
+    for key, entry in sorted(baseline.items()):
+        base_value, unit = entry["value"], entry["unit"]
+        if key not in current:
+            failures.append(f"MISSING  {key}: bench no longer emits it")
+            continue
+        value, cur_unit = current[key]
+        if cur_unit != unit:
+            failures.append(f"UNIT     {key}: {unit} -> {cur_unit}")
+            continue
+        checked += 1
+        kind = classify(unit)
+        if kind == "simulated":
+            # Deterministic contract: exact float equality.
+            if value != base_value:
+                failures.append(
+                    f"DRIFT    {key}: {base_value!r} -> {value!r} "
+                    "(simulated metric must be bit-identical)")
+        elif kind == "wall_runtime":
+            if value > base_value * args.tolerance:
+                failures.append(
+                    f"SLOWER   {key}: {value:.3f}s > "
+                    f"{args.tolerance:.1f}x baseline {base_value:.3f}s")
+        else:  # wall_throughput
+            if value < base_value / args.tolerance:
+                failures.append(
+                    f"SLOWER   {key}: {value:.3e} < baseline "
+                    f"{base_value:.3e} / {args.tolerance:.1f}")
+
+    new_keys = sorted(set(current) - set(baseline))
+    for key in new_keys:
+        print(f"note: unbaselined metric {key} (run --update to adopt)")
+
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} failure(s) "
+              f"({checked} metrics checked):")
+        for failure in failures:
+            print(" ", failure)
+        return 1
+    print(f"check_bench: OK ({checked} metrics checked, "
+          f"{len(new_keys)} unbaselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

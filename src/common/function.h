@@ -1,11 +1,18 @@
 // UniqueFunction: a move-only std::function<void()> replacement so that
 // simulation events and async completions can capture move-only state
 // (Buffers, Results) without shared_ptr indirection.
+//
+// Small-buffer optimized: callables up to kInlineSize bytes live inline
+// (no heap allocation on the simulator's event hot path); larger captures
+// fall back to a heap box. Dispatch is a static ops table (call/relocate/
+// destroy) instead of a virtual base, so the inline case costs one
+// indirect call and zero allocations.
 
 #ifndef DPDPU_COMMON_FUNCTION_H_
 #define DPDPU_COMMON_FUNCTION_H_
 
-#include <memory>
+#include <cstddef>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -14,39 +21,112 @@ namespace dpdpu {
 /// Type-erased move-only callable with signature void().
 class UniqueFunction {
  public:
+  /// Inline storage: sized so a capture of several pointers/integers
+  /// (the typical simulation event lambda) fits without allocating;
+  /// sizeof(UniqueFunction) stays at one cache line.
+  static constexpr size_t kInlineSize = 56;
+  static constexpr size_t kInlineAlign = alignof(std::max_align_t);
+
   UniqueFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueFunction>>>
-  UniqueFunction(F&& f)  // NOLINT(runtime/explicit)
-      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+  UniqueFunction(F&& f) {  // NOLINT(runtime/explicit)
+    using D = std::decay_t<F>;
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
 
-  UniqueFunction(UniqueFunction&&) = default;
-  UniqueFunction& operator=(UniqueFunction&&) = default;
+  UniqueFunction(UniqueFunction&& other) noexcept { MoveFrom(other); }
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
   UniqueFunction(const UniqueFunction&) = delete;
   UniqueFunction& operator=(const UniqueFunction&) = delete;
 
-  explicit operator bool() const { return impl_ != nullptr; }
+  ~UniqueFunction() { Reset(); }
 
-  void operator()() {
-    impl_->Call();
-  }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->call(storage_); }
+
+  /// True when the held callable lives in inline storage (test hook for
+  /// the SBO size contract; empty functions report false).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
 
  private:
-  struct Base {
-    virtual ~Base() = default;
-    virtual void Call() = 0;
+  struct Ops {
+    void (*call)(void*);
+    // Move-constructs the payload from `from` into `to`, then destroys
+    // the payload at `from` (heap boxes just relocate the pointer).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*);
+    bool inline_storage;
   };
 
-  template <typename F>
-  struct Impl final : Base {
-    explicit Impl(F f) : fn(std::move(f)) {}
-    void Call() override { fn(); }
-    F fn;
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* Inline(void* s) {
+    return std::launder(reinterpret_cast<D*>(s));
+  }
+  template <typename D>
+  static D*& Boxed(void* s) {
+    return *std::launder(reinterpret_cast<D**>(s));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*Inline<D>(s))(); },
+      [](void* from, void* to) noexcept {
+        D* f = Inline<D>(from);
+        ::new (to) D(std::move(*f));
+        f->~D();
+      },
+      [](void* s) { Inline<D>(s)->~D(); },
+      /*inline_storage=*/true,
   };
 
-  std::unique_ptr<Base> impl_;
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (*Boxed<D>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(Boxed<D>(from));
+      },
+      [](void* s) { delete Boxed<D>(s); },
+      /*inline_storage=*/false,
+  };
+
+  void MoveFrom(UniqueFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
 };
 
 }  // namespace dpdpu

@@ -46,4 +46,15 @@ void EmitJsonMetric(const std::string& bench, const std::string& metric,
       (unsigned long long)seed);
 }
 
+void EmitWallClockMetrics(const std::string& bench, const WallTimer& timer,
+                          uint64_t events_executed, uint64_t seed) {
+  double seconds = timer.Seconds();
+  EmitJsonMetric(bench, "wall_runtime", seconds, "seconds", seed);
+  if (seconds > 0) {
+    EmitJsonMetric(bench, "events_per_sec",
+                   double(events_executed) / seconds, "events_per_sec",
+                   seed);
+  }
+}
+
 }  // namespace dpdpu::rt

@@ -5,6 +5,7 @@
 #ifndef DPDPU_CORE_RUNTIME_METRICS_H_
 #define DPDPU_CORE_RUNTIME_METRICS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -46,6 +47,30 @@ std::string Fmt(double value, int decimals = 2);
 void EmitJsonMetric(const std::string& bench, const std::string& metric,
                     double value, const std::string& unit,
                     uint64_t seed = 0);
+
+/// Real (wall-clock) stopwatch for bench binaries; starts on
+/// construction. Distinct from sim::SimTime: this measures how long the
+/// simulation itself takes to run, not simulated time.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Standard wall-clock metric pair every bench emits alongside its
+/// simulated results: total runtime ("wall_runtime", seconds) and event
+/// throughput ("events_per_sec", simulator events per wall second).
+/// scripts/check_bench.py treats these units as jitter-tolerant, unlike
+/// the bit-deterministic simulated metrics.
+void EmitWallClockMetrics(const std::string& bench, const WallTimer& timer,
+                          uint64_t events_executed, uint64_t seed = 0);
 
 }  // namespace dpdpu::rt
 

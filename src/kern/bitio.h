@@ -4,7 +4,9 @@
 #ifndef DPDPU_KERN_BITIO_H_
 #define DPDPU_KERN_BITIO_H_
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "common/buffer.h"
 
@@ -77,6 +79,54 @@ class BitReader {
 
   /// Reads a single bit.
   bool ReadBit(uint32_t* out) { return ReadBits(1, out); }
+
+  // -- Bulk lookahead primitives (table-driven Huffman decode) ----------
+  //
+  // Invariant shared with ReadBits/ReadAlignedByte: accumulator bits at
+  // positions >= filled_ are zero, so the byte-level paths stay correct
+  // regardless of how the buffer was filled.
+
+  /// Tops the buffer up to >= 56 bits while input remains: one 8-byte
+  /// load mid-stream (masked to the whole bytes that fit), byte-wise
+  /// within the final 8 bytes.
+  void Refill() {
+    if (filled_ >= 56) return;
+    if (in_.size() - pos_ >= 8) {
+      uint64_t w;
+      if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(&w, in_.data() + pos_, 8);
+      } else {
+        w = 0;
+        for (int i = 7; i >= 0; --i) w = (w << 8) | in_[pos_ + size_t(i)];
+      }
+      int take = (63 - filled_) >> 3;  // whole bytes that fit; >= 1 here
+      acc_ |= (w & ((1ull << (8 * take)) - 1)) << filled_;
+      pos_ += size_t(take);
+      filled_ += take * 8;
+    } else {
+      while (filled_ < 56 && pos_ < in_.size()) {
+        acc_ |= uint64_t(in_[pos_++]) << filled_;
+        filled_ += 8;
+      }
+    }
+  }
+
+  /// Returns the low `count` (<= 32) buffered bits without consuming.
+  /// Bits past end-of-stream read as zero; callers must check
+  /// bits_buffered() before trusting more than bits_buffered() bits.
+  uint32_t PeekBits(int count) const {
+    return static_cast<uint32_t>(
+        acc_ & ((count == 32) ? 0xFFFFFFFFull : ((1ull << count) - 1)));
+  }
+
+  /// Discards `count` bits previously Peeked; count <= bits_buffered().
+  void ConsumeBits(int count) {
+    acc_ >>= count;
+    filled_ -= count;
+  }
+
+  /// Bits currently available to Peek/Consume.
+  int bits_buffered() const { return filled_; }
 
   /// Discards buffered bits to realign at the next byte boundary.
   void AlignToByte() {

@@ -1,35 +1,77 @@
 #include "kern/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace dpdpu::kern {
 
 namespace {
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 tables: t[0] is the classic byte-wise table; t[k][b] is the
+// CRC of byte b followed by k zero bytes, letting eight input bytes fold
+// into the state with eight independent lookups per iteration.
+struct CrcTables {
+  uint32_t t[8][256];
+};
+
+constexpr CrcTables MakeTables() {
+  CrcTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = tables.t[k - 1][i];
+      tables.t[k][i] = tables.t[0][c & 0xFF] ^ (c >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = MakeTable();
-  return table;
+constexpr CrcTables kCrc = MakeTables();
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+  } else {
+    return uint32_t(p[0]) | uint32_t(p[1]) << 8 | uint32_t(p[2]) << 16 |
+           uint32_t(p[3]) << 24;
+  }
 }
 
 }  // namespace
 
-uint32_t Crc32Update(uint32_t crc, ByteSpan data) {
-  const auto& table = Table();
+uint32_t Crc32UpdateBytewise(uint32_t crc, ByteSpan data) {
   uint32_t c = crc ^ 0xFFFFFFFFu;
   for (uint8_t b : data) {
-    c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+    c = kCrc.t[0][(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32Update(uint32_t crc, ByteSpan data) {
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint32_t lo = LoadLE32(p) ^ c;
+    uint32_t hi = LoadLE32(p + 4);
+    c = kCrc.t[7][lo & 0xFF] ^ kCrc.t[6][(lo >> 8) & 0xFF] ^
+        kCrc.t[5][(lo >> 16) & 0xFF] ^ kCrc.t[4][lo >> 24] ^
+        kCrc.t[3][hi & 0xFF] ^ kCrc.t[2][(hi >> 8) & 0xFF] ^
+        kCrc.t[1][(hi >> 16) & 0xFF] ^ kCrc.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = kCrc.t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

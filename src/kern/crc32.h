@@ -14,7 +14,12 @@ namespace dpdpu::kern {
 uint32_t Crc32(ByteSpan data);
 
 /// Incremental form: feed `crc` from a previous call (start with 0).
+/// Slice-by-8: folds eight input bytes per iteration.
 uint32_t Crc32Update(uint32_t crc, ByteSpan data);
+
+/// Byte-at-a-time reference implementation. Kept as the oracle the
+/// sliced fast path is property-tested against; not for hot paths.
+uint32_t Crc32UpdateBytewise(uint32_t crc, ByteSpan data);
 
 }  // namespace dpdpu::kern
 

@@ -150,6 +150,26 @@ Result<HuffmanDecoder> HuffmanDecoder::Build(
       d.symbols_[pos[lengths[s]]++] = static_cast<uint16_t>(s);
     }
   }
+
+  // Single-level decode LUT: for each code of length len <= kLutBits,
+  // fill every index whose low len bits are the code's stream bits (the
+  // canonical code value bit-reversed, since DEFLATE transmits codes
+  // MSB-first into an LSB-first stream).
+  d.lut_.assign(size_t(1) << kLutBits, 0);
+  std::vector<uint32_t> codes = CanonicalCodes(lengths);
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    int len = lengths[s];
+    if (len == 0 || len > kLutBits) continue;
+    uint32_t reversed = 0;
+    for (int i = 0; i < len; ++i) {
+      reversed = (reversed << 1) | ((codes[s] >> i) & 1u);
+    }
+    uint16_t entry =
+        static_cast<uint16_t>((uint32_t(s) << 5) | uint32_t(len));
+    for (uint32_t filler = 0; filler < (1u << (kLutBits - len)); ++filler) {
+      d.lut_[(filler << len) | reversed] = entry;
+    }
+  }
   return d;
 }
 

@@ -32,8 +32,18 @@ std::vector<uint32_t> CanonicalCodes(const std::vector<uint8_t>& lengths);
 /// Tolerates incomplete codes: decoding fails only when the stream
 /// actually presents an unassigned code (RFC permits unused incomplete
 /// distance codes).
+///
+/// Build() additionally constructs a single-level lookup table keyed on
+/// kLutBits peeked stream bits; DecodeFast resolves codes of length <=
+/// kLutBits with one table hit and falls back to the canonical
+/// bit-at-a-time walk for the rare longer codes and the stream tail.
 class HuffmanDecoder {
  public:
+  /// LUT width: covers every code the package-merge encoder emits for
+  /// typical corpora (long codes are by construction rare symbols).
+  /// 2^10 u16 entries = 2 KB per decoder.
+  static constexpr int kLutBits = 10;
+
   /// Default instance decodes nothing; assign from Build().
   HuffmanDecoder() = default;
 
@@ -43,6 +53,22 @@ class HuffmanDecoder {
   /// Decodes one symbol. Fails on underflow or unassigned code.
   Status Decode(BitReader& reader, int* symbol) const;
 
+  /// Hot-path decode: one LUT probe on peeked bits; identical results
+  /// and error behavior to Decode().
+  Status DecodeFast(BitReader& reader, int* symbol) const {
+    reader.Refill();
+    if (!lut_.empty()) {
+      uint16_t entry = lut_[reader.PeekBits(kLutBits)];
+      int len = entry & 31;
+      if (len != 0 && len <= reader.bits_buffered()) {
+        reader.ConsumeBits(len);
+        *symbol = entry >> 5;
+        return Status::Ok();
+      }
+    }
+    return Decode(reader, symbol);
+  }
+
   /// Number of symbols with non-zero length.
   int used_symbols() const { return static_cast<int>(symbols_.size()); }
 
@@ -50,6 +76,9 @@ class HuffmanDecoder {
   // count_[l]: number of codes of length l; symbols_ sorted canonically.
   std::vector<uint16_t> count_;
   std::vector<uint16_t> symbols_;
+  // lut_[peeked kLutBits, LSB-first]: (symbol << 5) | code_length for
+  // codes of length <= kLutBits; 0 = miss (longer or unassigned code).
+  std::vector<uint16_t> lut_;
 };
 
 }  // namespace dpdpu::kern

@@ -1,6 +1,11 @@
 // DEFLATE decoder (RFC 1951). Defensive: every malformed stream path
-// returns Status::Corruption rather than reading out of bounds.
+// returns Status::Corruption rather than reading out of bounds. The block
+// payload loop is the throughput-critical path: table-driven Huffman
+// decode (HuffmanDecoder::DecodeFast over the BitReader's bulk-refill
+// lookahead) and word-wise match copies.
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "kern/bitio.h"
@@ -12,12 +17,37 @@ namespace dpdpu::kern {
 
 namespace {
 
+// Appends out[out->size()-distance ...] repeated to `length` bytes.
+// Caller has validated distance/length; handles dist < len replication.
+void CopyMatch(Buffer* out, size_t distance, size_t length) {
+  size_t start = out->size();
+  out->resize(start + length);
+  uint8_t* dst = out->data() + start;
+  const uint8_t* src = dst - distance;
+  if (distance >= length) {
+    std::memcpy(dst, src, length);
+  } else if (distance == 1) {
+    std::memset(dst, src[0], length);
+  } else {
+    // Overlapping: seed one period, then double the replicated prefix.
+    // `done` stays a multiple of `distance` until the final partial
+    // chunk, so copying from the front preserves the period.
+    std::memcpy(dst, src, distance);
+    size_t done = distance;
+    while (done < length) {
+      size_t chunk = std::min(done, length - done);
+      std::memcpy(dst + done, dst, chunk);
+      done += chunk;
+    }
+  }
+}
+
 Status InflateBlockPayload(BitReader& br, const HuffmanDecoder& litlen,
                            const HuffmanDecoder* dist, size_t max_output,
                            Buffer* out) {
   for (;;) {
     int symbol;
-    DPDPU_RETURN_IF_ERROR(litlen.Decode(br, &symbol));
+    DPDPU_RETURN_IF_ERROR(litlen.DecodeFast(br, &symbol));
     if (symbol < 256) {
       if (out->size() >= max_output) {
         return Status::ResourceExhausted("inflate: output limit exceeded");
@@ -39,7 +69,7 @@ Status InflateBlockPayload(BitReader& br, const HuffmanDecoder& litlen,
       return Status::Corruption("inflate: match with no distance code");
     }
     int dsymbol;
-    DPDPU_RETURN_IF_ERROR(dist->Decode(br, &dsymbol));
+    DPDPU_RETURN_IF_ERROR(dist->DecodeFast(br, &dsymbol));
     if (dsymbol > 29) return Status::Corruption("inflate: bad dist symbol");
     if (!br.ReadBits(kDistExtra[dsymbol], &extra)) {
       return Status::Corruption("inflate: truncated dist extra bits");
@@ -51,11 +81,7 @@ Status InflateBlockPayload(BitReader& br, const HuffmanDecoder& litlen,
     if (out->size() + length > max_output) {
       return Status::ResourceExhausted("inflate: output limit exceeded");
     }
-    // Byte-at-a-time copy: overlapping copies (dist < len) must replicate.
-    size_t from = out->size() - distance;
-    for (size_t i = 0; i < length; ++i) {
-      out->AppendU8((*out)[from + i]);
-    }
+    CopyMatch(out, distance, length);
   }
 }
 
@@ -88,7 +114,7 @@ Status ReadDynamicTables(BitReader& br, HuffmanDecoder* litlen_out,
   lengths.reserve(hlit + hdist);
   while (lengths.size() < hlit + hdist) {
     int symbol;
-    DPDPU_RETURN_IF_ERROR(clen.Decode(br, &symbol));
+    DPDPU_RETURN_IF_ERROR(clen.DecodeFast(br, &symbol));
     if (symbol < 16) {
       lengths.push_back(static_cast<uint8_t>(symbol));
     } else if (symbol == 16) {

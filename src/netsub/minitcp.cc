@@ -65,6 +65,7 @@ TcpConnection::TcpConnection(TcpStack* stack, NodeId remote_node,
 }
 
 void TcpConnection::Send(ByteSpan data) {
+  if (state_ == State::kClosed) return;  // aborted/closed: drop writes
   send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
   write_seq_ += data.size();
   if (state_ == State::kEstablished) Pump();
@@ -140,6 +141,23 @@ void TcpConnection::ArmRtoTimer() {
                                 [this, generation] { OnRtoFire(generation); });
 }
 
+void TcpConnection::Abort() {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  ++stats_.aborts;
+  send_buffer_.clear();
+  out_of_order_.clear();
+  // Collapse the send window so late ACKs for reaped bytes are ignored
+  // (HandleAck drops anything above snd_max_) and bytes_unacked() is 0.
+  snd_nxt_ = snd_una_;
+  snd_max_ = snd_una_;
+  write_seq_ = snd_una_;
+  // Invalidate any armed RTO so the pending event no-ops at fire time.
+  ++rto_generation_;
+  rto_armed_ = false;
+  if (on_close_) on_close_();
+}
+
 void TcpConnection::OnRtoFire(uint64_t generation) {
   if (generation != rto_generation_ || state_ == State::kClosed) return;
   rto_armed_ = false;
@@ -148,6 +166,17 @@ void TcpConnection::OnRtoFire(uint64_t generation) {
   if (!outstanding) return;
 
   ++stats_.timeouts;
+  // Retransmission cap: abort once a stall (no cumulative-ACK progress)
+  // has lasted max_retransmit_time — the peer is unreachable or dark.
+  sim::SimTime now = stack_->simulator()->now();
+  if (!stalled_) {
+    stalled_ = true;
+    stall_started_at_ = now;
+  } else if (config_.max_retransmit_time > 0 &&
+             now - stall_started_at_ >= config_.max_retransmit_time) {
+    Abort();
+    return;
+  }
   EnterRecovery(/*timeout=*/true);
   rto_ = std::min(rto_ * 2, config_.rto_max);
 
@@ -203,6 +232,7 @@ void TcpConnection::HandleAck(uint64_t ack) {
   if (ack > snd_max_) return;  // acks data we never sent; ignore
   if (ack > snd_una_) {
     dup_acks_ = 0;
+    stalled_ = false;  // forward progress resets the retransmission cap
     // Congestion control.
     if (cwnd_ < ssthresh_) {
       cwnd_ += config_.mss;  // slow start

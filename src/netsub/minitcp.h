@@ -32,6 +32,12 @@ struct TcpConfig {
   uint32_t init_cwnd_segments = 10;
   sim::SimTime rto_min = 200 * sim::kMicrosecond;
   sim::SimTime rto_max = 100 * sim::kMillisecond;
+  /// Connection abort cap: once retransmissions have made no forward
+  /// progress (no new cumulative ACK) for this long, the connection
+  /// aborts and fires the close callback, so platforms reap connections
+  /// to dark nodes instead of retransmitting at rto_max forever.
+  /// 0 disables the cap.
+  sim::SimTime max_retransmit_time = 10 * sim::kSecond;
 };
 
 struct TcpStats {
@@ -41,6 +47,7 @@ struct TcpStats {
   uint64_t retransmissions = 0;
   uint64_t fast_retransmits = 0;
   uint64_t timeouts = 0;
+  uint64_t aborts = 0;
 };
 
 class TcpStack;
@@ -56,6 +63,11 @@ class TcpConnection {
 
   /// Sends FIN once the send buffer drains; peer's close callback fires.
   void Close();
+
+  /// Hard reset: drops all buffered state, moves to kClosed, and fires
+  /// the close callback. Used by the retransmission cap and available to
+  /// platforms reaping connections to dead nodes.
+  void Abort();
 
   /// In-order payload delivery.
   void SetReceiveCallback(ReceiveCallback cb) { on_receive_ = std::move(cb); }
@@ -128,6 +140,10 @@ class TcpConnection {
   sim::SimTime rto_ = 0;
   uint64_t rto_generation_ = 0;
   bool rto_armed_ = false;
+  // Retransmission-cap bookkeeping: virtual time of the first timeout of
+  // the current stall (cleared whenever a cumulative ACK advances).
+  bool stalled_ = false;
+  sim::SimTime stall_started_at_ = 0;
   // Timestamp of the segment being timed (Karn's rule: one sample at a
   // time, never from retransmissions).
   uint64_t timed_seq_ = 0;

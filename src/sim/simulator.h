@@ -10,7 +10,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,12 +35,21 @@ inline double ToSeconds(SimTime t) { return double(t) / double(kSecond); }
 /// Single-threaded event-driven simulator.
 class Simulator {
  public:
-  Simulator() = default;
+  // Pre-size the event heap: fleet-scale runs push thousands of events
+  // immediately, and growing a vector of 80-byte Events mid-run both
+  // reallocates and move-relocates every pending closure.
+  Simulator() { heap_.reserve(1024); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
   uint64_t events_executed() const { return executed_; }
+
+  /// Process-wide event count across all Simulator instances (bench
+  /// binaries create one per scenario); feeds the events/sec wall-clock
+  /// metric every bench emits. Simulators are single-threaded by design,
+  /// so a plain counter suffices.
+  static uint64_t TotalEventsExecuted() { return total_executed_; }
   bool empty() const { return heap_.empty(); }
   size_t pending() const { return heap_.size(); }
 
@@ -66,6 +74,7 @@ class Simulator {
     DPDPU_CHECK(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
+    ++total_executed_;
     ev.fn();
     return true;
   }
@@ -107,6 +116,7 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  static inline uint64_t total_executed_ = 0;
   std::vector<Event> heap_;
 };
 
@@ -117,8 +127,6 @@ class Simulator {
 /// checked at fire time.
 class PeriodicTask {
  public:
-  using Fn = std::function<void()>;
-
   PeriodicTask() = default;
   ~PeriodicTask() { Cancel(); }
 
@@ -126,33 +134,48 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   /// Starts firing `fn` every `interval` ns, first fire at now+interval.
-  /// Restarting cancels the previous schedule.
-  void Start(Simulator* sim, SimTime interval, Fn fn) {
+  /// Restarting cancels the previous schedule. The callback is wrapped
+  /// exactly once: each tick schedules a shared_ptr-sized closure (inline
+  /// in UniqueFunction's small buffer), so a long-running sampler costs
+  /// no per-tick callback re-wrapping or allocation.
+  template <typename F>
+  void Start(Simulator* sim, SimTime interval, F&& fn) {
     DPDPU_CHECK(interval > 0);
     Cancel();
-    alive_ = std::make_shared<bool>(true);
-    ScheduleNext(sim, interval, std::move(fn));
+    heart_ = std::make_shared<Heart>();
+    heart_->sim = sim;
+    heart_->interval = interval;
+    heart_->fn = UniqueFunction(std::forward<F>(fn));
+    ScheduleNext(heart_);
   }
 
   void Cancel() {
-    if (alive_) *alive_ = false;
-    alive_.reset();
+    if (heart_) heart_->alive = false;
+    heart_.reset();
   }
 
-  bool active() const { return alive_ != nullptr && *alive_; }
+  bool active() const { return heart_ != nullptr && heart_->alive; }
 
  private:
-  void ScheduleNext(Simulator* sim, SimTime interval, Fn fn) {
-    sim->Schedule(interval, [this, sim, interval, fn = std::move(fn),
-                             alive = alive_]() mutable {
-      if (!*alive) return;
-      fn();
-      if (!*alive) return;  // fn may have canceled us
-      ScheduleNext(sim, interval, std::move(fn));
+  // Shared liveness + the once-wrapped callback; scheduled closures hold
+  // the heart alive until their fire time even after Cancel().
+  struct Heart {
+    Simulator* sim = nullptr;
+    SimTime interval = 0;
+    UniqueFunction fn;
+    bool alive = true;
+  };
+
+  static void ScheduleNext(const std::shared_ptr<Heart>& heart) {
+    heart->sim->Schedule(heart->interval, [heart] {
+      if (!heart->alive) return;
+      heart->fn();
+      if (!heart->alive) return;  // fn may have canceled us
+      ScheduleNext(heart);
     });
   }
 
-  std::shared_ptr<bool> alive_;
+  std::shared_ptr<Heart> heart_;
 };
 
 }  // namespace dpdpu::sim

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -83,6 +84,70 @@ TEST(BitIoTest, AlignToByteDiscardsPartial) {
   uint8_t b;
   ASSERT_TRUE(r.ReadAlignedByte(&b));
   EXPECT_EQ(b, 0x42);
+}
+
+TEST(BitIoTest, PeekConsumeMatchesReadBits) {
+  // Interleave the bulk lookahead primitives with the classic ReadBits
+  // path over a random stream: both views must see the same bits.
+  Buffer data = GenerateRandomBytes(257, 42);
+  BitReader peek_reader(data.span());
+  BitReader read_reader(data.span());
+  Pcg32 rng(7);
+  size_t bits_left = data.size() * 8;
+  while (bits_left > 0) {
+    int count = int(1 + rng.NextBounded(16));
+    if (size_t(count) > bits_left) count = int(bits_left);
+    uint32_t expected;
+    ASSERT_TRUE(read_reader.ReadBits(count, &expected));
+    peek_reader.Refill();
+    ASSERT_GE(peek_reader.bits_buffered(), count);
+    EXPECT_EQ(peek_reader.PeekBits(count), expected);
+    peek_reader.ConsumeBits(count);
+    bits_left -= size_t(count);
+  }
+  // Fully drained: Refill at EOF leaves nothing and Peek pads with zeros.
+  peek_reader.Refill();
+  EXPECT_EQ(peek_reader.bits_buffered(), 0);
+  EXPECT_EQ(peek_reader.PeekBits(10), 0u);
+}
+
+TEST(BitIoTest, RefillPreservesAlignedByteReads) {
+  // Refill's masked bulk load must keep the "bits >= filled_ are zero"
+  // invariant that ReadAlignedByte depends on after AlignToByte.
+  Buffer data = GenerateRandomBytes(64, 5);
+  BitReader r(data.span());
+  r.Refill();
+  uint32_t v;
+  ASSERT_TRUE(r.ReadBits(3, &v));
+  r.AlignToByte();
+  for (size_t i = 1; i < data.size(); ++i) {
+    uint8_t b;
+    ASSERT_TRUE(r.ReadAlignedByte(&b)) << i;
+    EXPECT_EQ(b, data[i]) << i;
+    if (i % 7 == 0) r.Refill();  // refill mid-stream must not corrupt
+  }
+  uint8_t b;
+  EXPECT_FALSE(r.ReadAlignedByte(&b));
+}
+
+TEST(BitIoTest, RefillNearEndOfStream) {
+  // Streams shorter than one bulk load go through the byte-wise path.
+  for (size_t len : {size_t(1), size_t(3), size_t(7), size_t(8), size_t(9)}) {
+    Buffer data = GenerateRandomBytes(len, 11);
+    BitReader r(data.span());
+    r.Refill();
+    EXPECT_EQ(r.bits_buffered(), int(std::min<size_t>(len, 7) * 8))
+        << "len=" << len;
+    BitReader ref(data.span());
+    for (size_t i = 0; i < len; ++i) {
+      uint32_t expected;
+      ASSERT_TRUE(ref.ReadBits(8, &expected));
+      r.Refill();
+      ASSERT_GE(r.bits_buffered(), 8);
+      EXPECT_EQ(r.PeekBits(8), expected);
+      r.ConsumeBits(8);
+    }
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -326,6 +391,25 @@ TEST(DeflateTest, OverlappingCopySemantics) {
   Buffer in;
   for (int i = 0; i < 5000; ++i) in.AppendU8("abc"[i % 3]);
   ExpectRoundTrip(in.span(), 6);
+}
+
+TEST(DeflateTest, ZipfianCorporaPropertySweep) {
+  // inflate(deflate(x)) == x across Zipfian corpora with varied skew,
+  // vocabulary, and seed: drives the LUT decode + bulk-refill + word-wise
+  // copy fast paths over realistically shaped symbol distributions.
+  for (uint64_t seed : {1ull, 77ull, 991ull}) {
+    for (double theta : {0.5, 0.95}) {
+      for (uint32_t vocab : {256u, 8192u}) {
+        TextGenOptions options;
+        options.seed = seed;
+        options.vocabulary = vocab;
+        options.zipf_theta = theta;
+        Buffer text = GenerateText(96 * 1024, options);
+        ExpectRoundTrip(text.span(), 1);
+        ExpectRoundTrip(text.span(), 6);
+      }
+    }
+  }
 }
 
 TEST(DeflateTest, WindowBoundaryMatches) {

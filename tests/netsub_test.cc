@@ -411,6 +411,53 @@ TEST_F(TcpFixture, ManyConcurrentConnections) {
   EXPECT_EQ(total_received, total_sent);
 }
 
+TEST_F(TcpFixture, RetransmitCapAbortsConnectionToDarkNode) {
+  // Establish, then take the peer node down: retransmissions must stop
+  // making progress and the cap must abort the connection (firing the
+  // close callback) instead of backing off at rto_max forever.
+  TcpConnection* server_conn = nullptr;
+  stack_b_->Listen(80, [&](TcpConnection* c) { server_conn = c; });
+  TcpConnection* client = stack_a_->Connect(2, 80);
+  sim_.Run();
+  ASSERT_TRUE(client->established());
+
+  bool closed_fired = false;
+  client->SetCloseCallback([&] { closed_fired = true; });
+  net_->SetNodeUp(2, false);
+  client->Send(Buffer("into the void").span());
+  sim::SimTime send_at = sim_.now();
+  sim_.Run();  // must drain: the abort cancels the retransmit timer chain
+
+  EXPECT_TRUE(client->closed());
+  EXPECT_TRUE(closed_fired);
+  EXPECT_EQ(client->stats().aborts, 1u);
+  EXPECT_GT(client->stats().timeouts, 0u);
+  // The stall window is bounded by the configured cap plus one final RTO
+  // backoff interval.
+  sim::SimTime cap = stack_a_->config().max_retransmit_time;
+  EXPECT_GE(cap, sim::SimTime(1));
+  EXPECT_LE(sim_.now() - send_at, cap + stack_a_->config().rto_max +
+            sim::kSecond);
+  EXPECT_EQ(server_conn->stats().aborts, 0u);
+}
+
+TEST_F(TcpFixture, AbortIsIdempotentAndReapsState) {
+  TcpConnection* client = stack_a_->Connect(2, 80);
+  stack_b_->Listen(80, [](TcpConnection*) {});
+  sim_.Run();
+  ASSERT_TRUE(client->established());
+  int close_calls = 0;
+  client->SetCloseCallback([&] { ++close_calls; });
+  client->Send(Buffer("x").span());
+  client->Abort();
+  client->Abort();
+  EXPECT_TRUE(client->closed());
+  EXPECT_EQ(client->stats().aborts, 1u);
+  EXPECT_EQ(close_calls, 1);
+  EXPECT_EQ(client->bytes_unacked(), 0u);
+  sim_.Run();  // nothing left scheduled for the aborted connection
+}
+
 
 // Property sweep: exact delivery across loss rates and transfer sizes.
 class TcpLossSweep
