@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "core/compute/compute_engine.h"
 #include "core/runtime/metrics.h"
 #include "hw/machine.h"
@@ -39,8 +40,9 @@ double RunDpuAsics(size_t bytes, int jobs) {
     if (!first.ok()) continue;
     (*first)->OnComplete([&engine](ce::WorkItem& w) {
       if (!w.result().ok()) return;
-      (void)engine.Invoke(ce::kKernelEncrypt, w.result().value(),
-                          {{"key", "k"}}, {ce::ExecTarget::kDpuAsic});
+      auto second = engine.Invoke(ce::kKernelEncrypt, w.result().value(),
+                                  {{"key", "k"}}, {ce::ExecTarget::kDpuAsic});
+      DPDPU_CHECK(second.ok());  // a dropped stage would skew the figure
     });
   }
   sim.Run();
@@ -54,17 +56,20 @@ double RunGpu(size_t bytes, int jobs, bool fused) {
   Buffer text = kern::GenerateText(bytes, {1});
   for (int i = 0; i < jobs; ++i) {
     if (fused) {
-      (void)engine.InvokeFused(
+      auto item = engine.InvokeFused(
           {{ce::kKernelCompress, {}}, {ce::kKernelEncrypt, {{"key", "k"}}}},
           text, {ce::ExecTarget::kPcieAccel});
+      DPDPU_CHECK(item.ok());
     } else {
       auto first = engine.Invoke(ce::kKernelCompress, text, {},
                                  {ce::ExecTarget::kPcieAccel});
       if (!first.ok()) continue;
       (*first)->OnComplete([&engine](ce::WorkItem& w) {
         if (!w.result().ok()) return;
-        (void)engine.Invoke(ce::kKernelEncrypt, w.result().value(),
-                            {{"key", "k"}}, {ce::ExecTarget::kPcieAccel});
+        auto second =
+            engine.Invoke(ce::kKernelEncrypt, w.result().value(),
+                          {{"key", "k"}}, {ce::ExecTarget::kPcieAccel});
+        DPDPU_CHECK(second.ok());
       });
     }
   }

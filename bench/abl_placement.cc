@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "core/compute/compute_engine.h"
 #include "core/runtime/metrics.h"
 #include "hw/machine.h"
@@ -46,14 +47,16 @@ RunResult Run(hw::DpuSpec dpu, bool scheduled) {
 
   for (const Job& job : jobs) {
     if (scheduled) {
-      (void)engine.Invoke(job.kernel, text, job.params);  // kAuto
+      auto item = engine.Invoke(job.kernel, text, job.params);  // kAuto
+      DPDPU_CHECK(item.ok());
     } else {
       // Specified execution with the Fig 6 probe-and-fallback.
       auto item = engine.Invoke(job.kernel, text, job.params,
                                 {ce::ExecTarget::kDpuAsic});
       if (!item.ok()) {
-        (void)engine.Invoke(job.kernel, text, job.params,
-                            {ce::ExecTarget::kDpuCpu});
+        auto fallback = engine.Invoke(job.kernel, text, job.params,
+                                      {ce::ExecTarget::kDpuCpu});
+        DPDPU_CHECK(fallback.ok());  // DPU CPU is always present
       }
     }
   }

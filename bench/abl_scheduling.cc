@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/histogram.h"
+#include "common/logging.h"
 #include "core/compute/compute_engine.h"
 #include "core/runtime/metrics.h"
 #include "hw/machine.h"
@@ -69,7 +70,8 @@ double RunPlacementMakespan(ce::PlacementPolicy policy, int jobs) {
   ce::ComputeEngine engine(&server, ce::KernelRegistry::Builtin(), options);
   Buffer payload = kern::GenerateText(1 << 20, {3});
   for (int i = 0; i < jobs; ++i) {
-    (void)engine.Invoke(ce::kKernelCompress, payload);  // kAuto
+    auto item = engine.Invoke(ce::kKernelCompress, payload);  // kAuto
+    DPDPU_CHECK(item.ok());
   }
   sim.Run();
   return double(sim.now()) / 1e6;

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "core/network/network_engine.h"
 #include "core/runtime/metrics.h"
 
@@ -45,7 +46,8 @@ Point Run(ne::RdmaPath path, size_t op_bytes, int ops) {
   probe.Start();
   for (int i = 0; i < ops; ++i) {
     size_t off = (size_t(i) * op_bytes) % ((1 << 22) - op_bytes);
-    (void)endpoint->Write(i, local, off, remote, off, op_bytes);
+    Status posted = endpoint->Write(i, local, off, remote, off, op_bytes);
+    DPDPU_CHECK(posted.ok());  // a dropped post would deflate completions
   }
   sim.Run();
   int completions = 0;

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/histogram.h"
+#include "common/logging.h"
 #include "kern/chacha20.h"
 #include "kern/crc32.h"
 #include "kern/dedup.h"
@@ -128,7 +129,9 @@ void BM_FilterPage(benchmark::State& state) {
       {{"id", kern::ColumnType::kInt64}, {"v", kern::ColumnType::kDouble}});
   kern::RowPageBuilder builder(schema);
   for (int i = 0; i < int(state.range(0)); ++i) {
-    (void)builder.AddRow({kern::Value(int64_t(i)), kern::Value(i * 0.5)});
+    Status added =
+        builder.AddRow({kern::Value(int64_t(i)), kern::Value(i * 0.5)});
+    DPDPU_CHECK(added.ok());
   }
   Buffer page = builder.Finish();
   auto reader = kern::RowPageReader::Open(&schema, page.span());
@@ -146,8 +149,8 @@ void BM_SpscRing(benchmark::State& state) {
   netsub::SpscRing<uint64_t> ring(1024);
   uint64_t v = 0;
   for (auto _ : state) {
-    (void)ring.TryPush(1);
-    (void)ring.TryPop(&v);
+    benchmark::DoNotOptimize(ring.TryPush(1));
+    benchmark::DoNotOptimize(ring.TryPop(&v));
     benchmark::DoNotOptimize(v);
   }
   state.SetItemsProcessed(int64_t(state.iterations()));
@@ -158,8 +161,8 @@ void BM_MpmcRing(benchmark::State& state) {
   netsub::MpmcRing<uint64_t> ring(1024);
   uint64_t v = 0;
   for (auto _ : state) {
-    (void)ring.TryPush(1);
-    (void)ring.TryPop(&v);
+    benchmark::DoNotOptimize(ring.TryPush(1));
+    benchmark::DoNotOptimize(ring.TryPop(&v));
     benchmark::DoNotOptimize(v);
   }
   state.SetItemsProcessed(int64_t(state.iterations()));

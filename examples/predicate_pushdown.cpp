@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "core/runtime/pipeline.h"
 #include "core/runtime/platform.h"
 #include "kern/relational.h"
@@ -32,8 +33,9 @@ Buffer BuildOrdersPage(int page_index, int rows_per_page, Pcg32& rng) {
     int64_t id = int64_t(page_index) * rows_per_page + r;
     double amount = double(rng.NextBounded(100000)) / 100.0;
     std::string region = kRegions[rng.NextBounded(4)];
-    (void)builder.AddRow({kern::Value(id), kern::Value(amount),
-                          kern::Value(region)});
+    dpdpu::Status added = builder.AddRow(
+        {kern::Value(id), kern::Value(amount), kern::Value(region)});
+    DPDPU_CHECK(added.ok());
   }
   return builder.Finish();
 }

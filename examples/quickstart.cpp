@@ -98,7 +98,12 @@ int main() {
     return 1;
   }
 
-  (void)server.compute().InvokeSproc("read_compress_send_pages");
+  Status invoked = server.compute().InvokeSproc("read_compress_send_pages");
+  if (!invoked.ok()) {
+    std::fprintf(stderr, "sproc invocation failed: %s\n",
+                 invoked.ToString().c_str());
+    return 1;
+  }
   sim.Run();
 
   // Verify on the client: decompress and compare to the corpus.

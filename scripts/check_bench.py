@@ -14,9 +14,18 @@ the committed baseline (bench/BASELINE.json):
     throughputs may not drop below baseline/TOL, runtimes may not exceed
     baseline*TOL (default TOL=3).
 
+A third mode, --self-check, proves the determinism contract without
+consulting the baseline at all: every sim bench binary is run twice and
+the simulated metric lines of the two runs are diffed byte-for-byte.
+A bench that disagrees with itself has nondeterminism the simulator is
+supposed to have squeezed out (unordered iteration feeding metrics,
+wall-clock leakage, uninitialized state), and no baseline can be trusted
+until it is fixed.
+
 Usage:
-  python3 scripts/check_bench.py --build-dir build          # check
-  python3 scripts/check_bench.py --build-dir build --update # re-baseline
+  python3 scripts/check_bench.py --build-dir build              # check
+  python3 scripts/check_bench.py --build-dir build --update     # re-baseline
+  python3 scripts/check_bench.py --build-dir build --self-check # run-twice
 """
 
 import argparse
@@ -72,6 +81,71 @@ def run_micro(build_dir):
     return metrics
 
 
+def simulated_metric_lines(stdout):
+    """Extracts the JSON metric lines whose unit is sim-domain.
+
+    Wall-clock lines ("seconds", "events_per_sec") legitimately differ
+    between runs and are excluded; everything else must be identical.
+    """
+    lines = []
+    for line in stdout.splitlines():
+        if not line.startswith("{"):
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if classify(rec.get("unit", "")) == "simulated":
+            lines.append(line)
+    return lines
+
+
+def self_check(build_dir):
+    """Runs every sim bench twice; simulated output must be identical."""
+    bench_dir = os.path.join(build_dir, "bench")
+    benches = sorted(
+        name for name in os.listdir(bench_dir)
+        if os.access(os.path.join(bench_dir, name), os.X_OK)
+        and os.path.isfile(os.path.join(bench_dir, name))
+        and name != "micro_kernels")  # google-benchmark, wall-clock only
+    if not benches:
+        print(f"self-check: no bench binaries under {bench_dir}")
+        return 1
+
+    failures = 0
+    total_lines = 0
+    for name in benches:
+        exe = os.path.join(bench_dir, name)
+        runs = []
+        for _ in range(2):
+            out = subprocess.run([exe], capture_output=True, text=True,
+                                 check=True)
+            runs.append(simulated_metric_lines(out.stdout))
+        first, second = runs
+        if first == second:
+            total_lines += len(first)
+            print(f"self-check: {name}: OK "
+                  f"({len(first)} simulated metric lines identical)")
+            continue
+        failures += 1
+        print(f"self-check: {name}: NONDETERMINISTIC")
+        for a, b in zip(first, second):
+            if a != b:
+                print(f"  run1: {a}")
+                print(f"  run2: {b}")
+        if len(first) != len(second):
+            print(f"  run1 emitted {len(first)} simulated lines, "
+                  f"run2 emitted {len(second)}")
+
+    if failures:
+        print(f"\nself-check: {failures}/{len(benches)} benches "
+              "disagree with themselves")
+        return 1
+    print(f"self-check: OK ({len(benches)} benches run twice, "
+          f"{total_lines} simulated metric lines bit-identical)")
+    return 0
+
+
 def classify(unit):
     if unit in WALL_RUNTIME_UNITS:
         return "wall_runtime"
@@ -88,7 +162,13 @@ def main():
                         help="wall-clock tolerance factor (default 3x)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run each sim bench twice and require "
+                             "bit-identical simulated metrics")
     args = parser.parse_args()
+
+    if args.self_check:
+        return self_check(args.build_dir)
 
     current = {}
     current.update(run_fleet(args.build_dir))

@@ -20,7 +20,10 @@ using ByteSpan = std::span<const uint8_t>;
 using MutableByteSpan = std::span<uint8_t>;
 
 /// Owned byte array with bounds-checked primitive encode/decode helpers.
-class Buffer {
+/// [[nodiscard]] because a dropped Buffer return is always a mistake:
+/// producers (GenerateText, Finish, Compress...) exist only for their
+/// return value.
+class [[nodiscard]] Buffer {
  public:
   Buffer() = default;
   explicit Buffer(size_t size) : data_(size) {}

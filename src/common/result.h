@@ -14,9 +14,10 @@
 namespace dpdpu {
 
 /// Holds either a T or a non-OK Status. Accessing the value of an errored
-/// Result is a programming error (asserts in debug builds).
+/// Result is a programming error (asserts in debug builds). [[nodiscard]]
+/// so a silently-dropped error is a compile-time warning.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status, so `return value;` and
   /// `return Status::NotFound(...);` both work in a Result-returning

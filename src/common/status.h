@@ -34,8 +34,9 @@ enum class StatusCode : uint8_t {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A cheap value type carrying a StatusCode and an optional message.
-/// OK statuses carry no allocation.
-class Status {
+/// OK statuses carry no allocation. [[nodiscard]] so a silently-dropped
+/// error is a compile-time warning (enforced by simlint R4 + -Werror CI).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -44,9 +44,11 @@ void RdmaFlowReader::DrainCompletions() {
     auto mem = nic_->Memory(region_);
     DPDPU_CHECK(mem.ok());
     ConsumeBatch(ByteSpan(mem->data() + slot * slot_bytes_, c.bytes));
-    // Recycle the slot for the next batch.
-    (void)endpoint_->Recv(c.wr_id, region_, slot * slot_bytes_,
-                          slot_bytes_);
+    // Recycle the slot for the next batch; a failed repost would wedge
+    // the flow with one fewer outstanding buffer, silently.
+    Status reposted = endpoint_->Recv(c.wr_id, region_, slot * slot_bytes_,
+                                      slot_bytes_);
+    DPDPU_CHECK(reposted.ok());
   }
 }
 

@@ -111,7 +111,13 @@ Status OffloadedRdmaEndpoint::Send(uint64_t wr_id, ByteSpan data) {
 Status OffloadedRdmaEndpoint::Recv(uint64_t wr_id, netsub::MrKey local,
                                    size_t loff, size_t capacity) {
   SubmitThroughRing([this, wr_id, local, loff, capacity] {
-    (void)qp_->PostRecv(wr_id, local, loff, capacity);
+    Status s = qp_->PostRecv(wr_id, local, loff, capacity);
+    if (!s.ok()) {
+      // Same convention as Send: surface the device-side post failure as
+      // a failed completion instead of dropping it on the floor.
+      host_completions_.push_back(netsub::RdmaCompletion{
+          netsub::RdmaCompletion::OpType::kRecv, wr_id, 0, false});
+    }
   });
   return Status::Ok();
 }

@@ -1,5 +1,7 @@
 #include "fssub/page_cache.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dpdpu::fssub {
@@ -89,6 +91,14 @@ void PageCache::EraseFile(uint32_t file) {
 void PageCache::Resize(uint64_t capacity_bytes) {
   capacity_ = capacity_bytes;
   while (used_ > capacity_ && !entries_.empty()) EvictOne();
+}
+
+std::vector<PageKey> PageCache::ResidentPages() const {
+  std::vector<PageKey> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& e : entries_) keys.push_back(e.key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 }  // namespace dpdpu::fssub

@@ -24,6 +24,12 @@ struct PageKey {
   bool operator==(const PageKey& other) const {
     return file == other.file && page == other.page;
   }
+
+  /// Deterministic total order (file, then page) for sorted listings.
+  bool operator<(const PageKey& other) const {
+    if (file != other.file) return file < other.file;
+    return page < other.page;
+  }
 };
 
 struct PageKeyHash {
@@ -73,6 +79,12 @@ class PageCache {
 
   /// Changes capacity, evicting as needed.
   void Resize(uint64_t capacity_bytes);
+
+  /// Resident page keys sorted by (file, page). The clock arena's
+  /// physical order depends on the eviction/erase history (swap-with-back
+  /// compaction), so any log or metric derived from cache contents must
+  /// go through this accessor to stay deterministic (simlint rule R2).
+  std::vector<PageKey> ResidentPages() const;
 
  private:
   struct Entry {

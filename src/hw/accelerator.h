@@ -26,12 +26,12 @@ enum class AcceleratorKind : uint8_t {
 std::string_view AcceleratorKindName(AcceleratorKind kind);
 
 struct AcceleratorSpec {
-  AcceleratorKind kind;
-  double bytes_per_sec;
-  uint64_t setup_ns;
+  AcceleratorKind kind{};
+  double bytes_per_sec = 0;
+  uint64_t setup_ns = 0;
   /// Number of jobs the engine can process concurrently; further jobs
   /// queue (Section 5 notes accelerator capacities "vary greatly").
-  uint32_t max_concurrency;
+  uint32_t max_concurrency = 0;
 };
 
 /// Capacity-limited ASIC. A job of B bytes occupies one hardware context

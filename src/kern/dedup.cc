@@ -1,5 +1,6 @@
 #include "kern/dedup.h"
 
+#include <algorithm>
 #include <array>
 
 #include "common/logging.h"
@@ -85,6 +86,22 @@ std::vector<Chunk> ChunkData(ByteSpan data, const ChunkerOptions& options) {
     start = cut;
   }
   return chunks;
+}
+
+std::vector<ChunkCount> DedupIndex::HotChunks(size_t n) const {
+  std::vector<ChunkCount> all;
+  all.reserve(seen_.size());
+  for (const auto& [fingerprint, count] : seen_) {
+    all.push_back(ChunkCount{fingerprint, count});
+  }
+  // Total order independent of hash-table iteration order.
+  std::sort(all.begin(), all.end(),
+            [](const ChunkCount& a, const ChunkCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.fingerprint < b.fingerprint;
+            });
+  if (all.size() > n) all.resize(n);
+  return all;
 }
 
 DedupStats DedupIndex::Add(ByteSpan data) {

@@ -47,6 +47,16 @@ struct DedupStats {
   }
 };
 
+/// A fingerprint and how many times it has been seen.
+struct ChunkCount {
+  uint64_t fingerprint = 0;
+  uint32_t count = 0;
+
+  bool operator==(const ChunkCount& other) const {
+    return fingerprint == other.fingerprint && count == other.count;
+  }
+};
+
 /// Accumulates chunk fingerprints across Add() calls and reports the
 /// cumulative dedup ratio.
 class DedupIndex {
@@ -58,6 +68,14 @@ class DedupIndex {
   DedupStats Add(ByteSpan data);
 
   const DedupStats& stats() const { return stats_; }
+
+  /// The `n` most-duplicated chunks in a deterministic total order
+  /// (count descending, fingerprint ascending as the tiebreak). This is
+  /// the only sanctioned way to surface the index's contents in logs or
+  /// metrics: iterating `seen_` directly would emit in hash order, which
+  /// varies across libstdc++ versions and breaks bit-exact baselines
+  /// (simlint rule R2).
+  std::vector<ChunkCount> HotChunks(size_t n) const;
 
  private:
   ChunkerOptions options_;

@@ -499,6 +499,27 @@ TEST(PageCacheTest, ResizeShrinksAndGrows) {
   EXPECT_GT(cache.page_count(), 2u);
 }
 
+TEST(PageCacheTest, ResidentPagesSortedRegardlessOfEvictionHistory) {
+  // Two caches reach the same resident set along different histories:
+  // the clock arena's physical order differs (swap-with-back erase), but
+  // the sorted listing must be identical — that listing is the only
+  // form cache contents may take in logs or metrics (simlint R2).
+  PageCache a(4 * 4096);
+  for (uint64_t p = 0; p < 4; ++p) a.Put({2, p}, PageOf(uint8_t(p)));
+  a.Erase({2, 1});
+  a.Put({1, 9}, PageOf(9));
+
+  PageCache b(4 * 4096);
+  b.Put({1, 9}, PageOf(9));
+  for (uint64_t p = 0; p < 4; ++p) {
+    if (p != 1) b.Put({2, p}, PageOf(uint8_t(p)));
+  }
+
+  std::vector<PageKey> expected = {{1, 9}, {2, 0}, {2, 2}, {2, 3}};
+  EXPECT_EQ(a.ResidentPages(), expected);
+  EXPECT_EQ(b.ResidentPages(), expected);
+}
+
 TEST(PageCacheTest, HitRateOnZipfWorkload) {
   PageCache cache(100 * 4096);  // caches 100 of 1000 pages
   Pcg32 rng(5);

@@ -410,6 +410,37 @@ TEST(DedupTest, IndexDetectsDuplicates) {
   EXPECT_NEAR(s2.Ratio(), 2.0, 0.01);
 }
 
+TEST(DedupTest, HotChunksSortedByCountThenFingerprint) {
+  Buffer once = GenerateRandomBytes(100000, 31);
+  Buffer thrice = GenerateRandomBytes(100000, 32);
+  DedupIndex index;
+  index.Add(once.span());
+  for (int i = 0; i < 3; ++i) index.Add(thrice.span());
+
+  auto hot = index.HotChunks(1000);
+  ASSERT_FALSE(hot.empty());
+  // Deterministic total order: count descending, fingerprint ascending.
+  for (size_t i = 0; i + 1 < hot.size(); ++i) {
+    if (hot[i].count == hot[i + 1].count) {
+      EXPECT_LT(hot[i].fingerprint, hot[i + 1].fingerprint);
+    } else {
+      EXPECT_GT(hot[i].count, hot[i + 1].count);
+    }
+  }
+  // The thrice-added content dominates the head of the list.
+  EXPECT_EQ(hot.front().count, 3u);
+  // Truncation keeps the hottest prefix.
+  auto top3 = index.HotChunks(3);
+  ASSERT_EQ(top3.size(), 3u);
+  for (size_t i = 0; i < top3.size(); ++i) EXPECT_EQ(top3[i], hot[i]);
+  // Identical indexes produce byte-identical listings (the emission
+  // contract simlint R2 is protecting).
+  DedupIndex replay;
+  replay.Add(once.span());
+  for (int i = 0; i < 3; ++i) replay.Add(thrice.span());
+  EXPECT_EQ(replay.HotChunks(1000), hot);
+}
+
 TEST(DedupTest, FingerprintsDifferForDifferentContent) {
   Buffer a = GenerateRandomBytes(8192, 1);
   Buffer b = GenerateRandomBytes(8192, 2);

@@ -1,0 +1,376 @@
+// Bounded model checking for the SPSC ring (src/netsub/ring.h), the
+// host/DPU communication primitive every offload path rides on.
+//
+// Two layers:
+//
+//  1. Operation-level exhaustion against the REAL SpscRing/MpmcRing:
+//     every possible sequence of push/pop attempts up to a bound is
+//     replayed against a reference queue, checking success/failure and
+//     FIFO content — including full, empty, and wraparound states.
+//
+//  2. Step-level exhaustion against a faithful model of the SPSC
+//     algorithm: TryPush/TryPop are decomposed into their constituent
+//     shared-memory accesses (cursor load, slot access, cursor publish)
+//     exactly as written in ring.h, and a DFS walks EVERY interleaving
+//     of the two threads' steps under sequential consistency. At each
+//     step the checker asserts the structural invariants (cursors never
+//     cross, occupancy never exceeds capacity, a slot is never
+//     overwritten before it is consumed, failures are justified by the
+//     snapshot that caused them) and at each terminal state that the
+//     consumer observed an exact FIFO prefix.
+//
+// The model must mirror ring.h line for line; if TryPush/TryPop change,
+// update kProducerSteps/kConsumerSteps here in the same commit.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "netsub/ring.h"
+
+namespace dpdpu::netsub {
+namespace {
+
+// ==========================================================================
+// Layer 1: operation-level exhaustive schedules against the real rings.
+// ==========================================================================
+
+// Replays `schedule` (bit i set = push attempt, clear = pop attempt)
+// against a ring and a reference deque; returns attempts that succeeded.
+template <typename Ring>
+int RunSchedule(Ring* ring, size_t capacity, uint32_t schedule, int length) {
+  std::deque<int> reference;
+  int next_value = 1;
+  int successes = 0;
+  for (int i = 0; i < length; ++i) {
+    if (schedule & (1u << i)) {
+      bool pushed = ring->TryPush(next_value);
+      EXPECT_EQ(pushed, reference.size() < capacity)
+          << "push outcome diverged at op " << i;
+      if (pushed) {
+        reference.push_back(next_value);
+        ++next_value;
+        ++successes;
+      }
+    } else {
+      int out = -1;
+      bool popped = ring->TryPop(&out);
+      EXPECT_EQ(popped, !reference.empty())
+          << "pop outcome diverged at op " << i;
+      if (popped) {
+        EXPECT_EQ(out, reference.front()) << "FIFO order broken at op " << i;
+        reference.pop_front();
+        ++successes;
+      }
+    }
+    EXPECT_EQ(ring->size_approx(), reference.size());
+  }
+  return successes;
+}
+
+template <typename Ring>
+void ExhaustSchedules(size_t capacity, int length) {
+  ASSERT_LE(length, 31);
+  for (uint32_t schedule = 0; schedule < (1u << length); ++schedule) {
+    Ring ring(capacity);
+    RunSchedule(&ring, capacity, schedule, length);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(RingOpExhaustionTest, SpscAllSchedulesCapacity2) {
+  // 2^14 schedules over a capacity-2 ring: every reachable sequence of
+  // full hits, empty hits, and wraparounds (cursors pass the mask up to
+  // 7 times).
+  ExhaustSchedules<SpscRing<int>>(2, 14);
+}
+
+TEST(RingOpExhaustionTest, SpscAllSchedulesCapacity4) {
+  ExhaustSchedules<SpscRing<int>>(4, 16);
+}
+
+TEST(RingOpExhaustionTest, MpmcAllSchedulesCapacity2) {
+  ExhaustSchedules<MpmcRing<int>>(2, 14);
+}
+
+TEST(RingOpExhaustionTest, MpmcAllSchedulesCapacity4) {
+  ExhaustSchedules<MpmcRing<int>>(4, 16);
+}
+
+TEST(RingOpExhaustionTest, DeepWraparoundKeepsFifoOrder) {
+  // Drive the cursors far past the capacity so the masked index laps the
+  // storage many times; contents must stay an exact FIFO window.
+  SpscRing<int> ring(4);
+  std::deque<int> reference;
+  int next_value = 1;
+  // Deterministic mixed schedule: push-push-pop, 3000 rounds.
+  for (int round = 0; round < 3000; ++round) {
+    for (int k = 0; k < 2; ++k) {
+      if (ring.TryPush(next_value)) {
+        reference.push_back(next_value);
+        ++next_value;
+      }
+    }
+    int out = -1;
+    if (ring.TryPop(&out)) {
+      ASSERT_EQ(out, reference.front());
+      reference.pop_front();
+    }
+  }
+  // Drain.
+  int out = -1;
+  while (ring.TryPop(&out)) {
+    ASSERT_EQ(out, reference.front());
+    reference.pop_front();
+  }
+  EXPECT_TRUE(reference.empty());
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+// ==========================================================================
+// Layer 2: step-level exhaustive interleavings of the SPSC algorithm.
+// ==========================================================================
+
+// One shared-memory access per step, mirroring SpscRing<T>:
+//   TryPush: load tail  -> full check -> write slot  -> publish head
+//   TryPop:  load head  -> empty check -> read slot  -> publish tail
+// The own-cursor loads (relaxed, single writer) are private and folded
+// into the check step; they cannot race by construction.
+struct ModelState {
+  static constexpr size_t kMaxCapacity = 8;
+  static constexpr int kMaxAttempts = 8;
+
+  uint64_t head = 0;
+  uint64_t tail = 0;
+  std::array<int, kMaxCapacity> slots{};
+
+  // Producer thread: attempts remaining + intra-attempt program counter.
+  int p_attempts_left = 0;
+  int p_step = 0;          // 0 load-tail, 1 check, 2 write-slot, 3 publish
+  uint64_t p_tail_snap = 0;
+  int next_value = 1;
+  int pushes_ok = 0;
+
+  // Consumer thread.
+  int c_attempts_left = 0;
+  int c_step = 0;          // 0 load-head, 1 check, 2 read-slot, 3 publish
+  uint64_t c_head_snap = 0;
+  int c_loaded = 0;
+  std::array<int, 2 * kMaxAttempts> popped{};
+  int pops_ok = 0;
+};
+
+class SpscModelChecker {
+ public:
+  SpscModelChecker(size_t capacity, int push_attempts, int pop_attempts)
+      : capacity_(capacity), mask_(capacity - 1) {
+    initial_.p_attempts_left = push_attempts;
+    initial_.c_attempts_left = pop_attempts;
+  }
+
+  void Run() {
+    Explore(initial_);
+  }
+
+  uint64_t terminal_states() const { return terminal_states_; }
+  uint64_t steps_executed() const { return steps_executed_; }
+  bool saw_full_rejection() const { return saw_full_rejection_; }
+  bool saw_empty_rejection() const { return saw_empty_rejection_; }
+  bool saw_wraparound() const { return saw_wraparound_; }
+
+ private:
+  void CheckStructuralInvariants(const ModelState& s) {
+    // Cursors never cross and occupancy never exceeds capacity: this is
+    // the no-overwrite / no-underflow safety property of the ring.
+    EXPECT_GE(s.head, s.tail);
+    EXPECT_LE(s.head - s.tail, capacity_);
+  }
+
+  // Advances the producer by one atomic step. Returns false if the
+  // producer is done.
+  bool StepProducer(ModelState& s) {
+    if (s.p_attempts_left == 0) return false;
+    switch (s.p_step) {
+      case 0:  // size_t tail = tail_.load(acquire);
+        s.p_tail_snap = s.tail;
+        s.p_step = 1;
+        break;
+      case 1:  // if (head - tail >= capacity_) return false;
+        if (s.head - s.p_tail_snap >= capacity_) {
+          // The failure must be justified by the snapshot: the ring
+          // looked full, and snapshots are only ever conservative
+          // (tail_ is monotone, so the true occupancy was <= observed).
+          EXPECT_LE(s.p_tail_snap, s.tail);
+          saw_full_rejection_ = true;
+          --s.p_attempts_left;
+          s.p_step = 0;
+        } else {
+          s.p_step = 2;
+        }
+        break;
+      case 2:  // slots_[head & mask_] = std::move(value);
+        // Safety: the slot being written must already be consumed; with
+        // the true tail this is head - tail < capacity. The check-step
+        // snapshot guarantees it because tail only grows after the
+        // snapshot.
+        EXPECT_LT(s.head - s.tail, capacity_)
+            << "producer would overwrite an unconsumed slot";
+        if ((s.head & mask_) != s.head) saw_wraparound_ = true;
+        s.slots[s.head & mask_] = s.next_value;
+        s.p_step = 3;
+        break;
+      case 3:  // head_.store(head + 1, release);
+        s.head += 1;
+        ++s.next_value;
+        ++s.pushes_ok;
+        --s.p_attempts_left;
+        s.p_step = 0;
+        break;
+    }
+    return true;
+  }
+
+  bool StepConsumer(ModelState& s) {
+    if (s.c_attempts_left == 0) return false;
+    switch (s.c_step) {
+      case 0:  // size_t head = head_.load(acquire);
+        s.c_head_snap = s.head;
+        s.c_step = 1;
+        break;
+      case 1:  // if (tail == head) return false;
+        if (s.tail == s.c_head_snap) {
+          EXPECT_LE(s.c_head_snap, s.head);  // conservative emptiness
+          saw_empty_rejection_ = true;
+          --s.c_attempts_left;
+          s.c_step = 0;
+        } else {
+          s.c_step = 2;
+        }
+        break;
+      case 2:  // *out = std::move(slots_[tail & mask_]);
+        s.c_loaded = s.slots[s.tail & mask_];
+        // The value visible here must be exactly the next FIFO value:
+        // the producer published head after writing the slot, so the
+        // consumer can never observe a torn or stale slot.
+        EXPECT_EQ(s.c_loaded, s.pops_ok + 1)
+            << "consumer read a slot the producer had not published";
+        s.c_step = 3;
+        break;
+      case 3:  // tail_.store(tail + 1, release);
+        s.popped[s.pops_ok] = s.c_loaded;
+        ++s.pops_ok;
+        s.tail += 1;
+        --s.c_attempts_left;
+        s.c_step = 0;
+        break;
+    }
+    return true;
+  }
+
+  void CheckTerminal(const ModelState& s) {
+    ++terminal_states_;
+    // Every popped value is the exact FIFO prefix 1..pops_ok.
+    for (int i = 0; i < s.pops_ok; ++i) {
+      EXPECT_EQ(s.popped[i], i + 1);
+    }
+    // Conservation: everything pushed is either popped or still queued.
+    EXPECT_EQ(uint64_t(s.pushes_ok - s.pops_ok), s.head - s.tail);
+    // Whatever remains queued is the next FIFO window, in order.
+    for (uint64_t q = s.tail; q < s.head; ++q) {
+      EXPECT_EQ(s.slots[q & mask_], s.pops_ok + 1 + int(q - s.tail));
+    }
+  }
+
+  void Explore(ModelState s) {
+    CheckStructuralInvariants(s);
+    // First violation aborts the walk: millions of downstream states
+    // would all fail for the same root cause and drown the report.
+    if (::testing::Test::HasFailure()) return;
+
+    bool advanced = false;
+    {
+      ModelState next = s;
+      if (StepProducer(next)) {
+        advanced = true;
+        ++steps_executed_;
+        Explore(next);
+        if (::testing::Test::HasFailure()) return;
+      }
+    }
+    {
+      ModelState next = s;
+      if (StepConsumer(next)) {
+        advanced = true;
+        ++steps_executed_;
+        Explore(next);
+        if (::testing::Test::HasFailure()) return;
+      }
+    }
+    if (!advanced) CheckTerminal(s);
+  }
+
+  const size_t capacity_;
+  const uint64_t mask_;
+  ModelState initial_;
+  uint64_t terminal_states_ = 0;
+  uint64_t steps_executed_ = 0;
+  bool saw_full_rejection_ = false;
+  bool saw_empty_rejection_ = false;
+  bool saw_wraparound_ = false;
+};
+
+TEST(SpscModelCheckTest, Capacity2ThreePushesThreePops) {
+  SpscModelChecker checker(2, 3, 3);
+  checker.Run();
+  // Exhaustive by construction (both choices explored at every point);
+  // the terminal count is a determinism regression guard for the model
+  // itself. A capacity-2 ring with 3 pushes against 3 pops reaches full,
+  // empty, and wrapped states along different interleavings.
+  EXPECT_GT(checker.terminal_states(), 1000u);
+  EXPECT_TRUE(checker.saw_full_rejection());
+  EXPECT_TRUE(checker.saw_empty_rejection());
+  EXPECT_TRUE(checker.saw_wraparound());
+}
+
+TEST(SpscModelCheckTest, Capacity2ProducerHeavy) {
+  // 5 push attempts against 2 pops: the producer must hit full often and
+  // never overwrite.
+  SpscModelChecker checker(2, 5, 2);
+  checker.Run();
+  EXPECT_TRUE(checker.saw_full_rejection());
+  EXPECT_GT(checker.terminal_states(), 1000u);
+}
+
+TEST(SpscModelCheckTest, Capacity2ConsumerHeavy) {
+  // 2 pushes against 5 pop attempts: the consumer must hit empty often
+  // and never read an unpublished slot.
+  SpscModelChecker checker(2, 2, 5);
+  checker.Run();
+  EXPECT_TRUE(checker.saw_empty_rejection());
+  EXPECT_GT(checker.terminal_states(), 1000u);
+}
+
+TEST(SpscModelCheckTest, Capacity4FourPushesThreePops) {
+  // Larger ring, asymmetric load: exercises the masked index without
+  // blowing up the interleaving count under sanitizer builds.
+  SpscModelChecker checker(4, 4, 3);
+  checker.Run();
+  EXPECT_TRUE(checker.saw_empty_rejection());
+  EXPECT_GT(checker.terminal_states(), 10000u);
+}
+
+TEST(SpscModelCheckTest, ExplorationIsDeterministic) {
+  // The checker is itself sim-adjacent tooling: two runs must agree on
+  // the exact number of interleavings and steps.
+  SpscModelChecker a(2, 3, 3), b(2, 3, 3);
+  a.Run();
+  b.Run();
+  EXPECT_EQ(a.terminal_states(), b.terminal_states());
+  EXPECT_EQ(a.steps_executed(), b.steps_executed());
+}
+
+}  // namespace
+}  // namespace dpdpu::netsub

@@ -1,0 +1,515 @@
+#!/usr/bin/env python3
+"""simlint — DPDPU's determinism & invariant linter.
+
+Every figure this repo reproduces is gated by a bit-exact comparison of
+simulated metrics against bench/BASELINE.json. That gate only catches
+nondeterminism *after* it lands; simlint rejects the patterns that
+introduce it (and a few correctness footguns around them) at review time.
+
+Rules:
+  R1  banned-nondeterminism  wall-clock reads / ambient randomness in
+                             sim-visible code (std::chrono clocks, rand(),
+                             srand(), std::random_device, mt19937, argless
+                             time(), gettimeofday, clock_gettime, ...).
+  R2  unordered-emission     iteration over an unordered_map/unordered_set
+                             inside a function that emits metrics or logs
+                             or schedules events, without sorting first.
+                             Hash-table order is salted per-process: it
+                             must never reach output or the event heap.
+  R3  pointer-keyed-order    ordered containers / hashes / comparators
+                             keyed on raw pointer values. Addresses vary
+                             run to run (ASLR, allocator), so any ordering
+                             derived from them is nondeterministic.
+  R4  dropped-status         `(void)` launder of a Status/Result-returning
+                             call, and regression of the [[nodiscard]]
+                             markers on common::Status / common::Result /
+                             common::Buffer that make the compiler flag
+                             silently-dropped errors.
+  R5  uninit-config-field    trivially-typed fields of *Config/*Options/
+                             *Spec structs without a default member
+                             initializer (indeterminate reads are both UB
+                             and a nondeterminism source).
+
+Suppression:
+  * inline, same or previous line:  // simlint:allow(R1): <reason>
+  * file-level, tools/simlint/allowlist.txt:  <path> <rule> <reason>
+  Both require a non-empty reason; a bare suppression is itself an error.
+
+Usage:
+  python3 tools/simlint/simlint.py              # lint src/ bench/ examples/
+  python3 tools/simlint/simlint.py src/netsub   # lint a subtree
+  python3 tools/simlint/simlint.py --list-rules
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_ROOTS = ("src", "bench", "examples")
+DEFAULT_ALLOWLIST = os.path.join("tools", "simlint", "allowlist.txt")
+
+RULES = {
+    "R1": "banned nondeterminism (wall clocks, rand, random_device, ...)",
+    "R2": "unordered-container iteration in a metric/log/schedule path",
+    "R3": "ordering derived from raw pointer values",
+    "R4": "dropped or laundered Status/Result (and [[nodiscard]] regression)",
+    "R5": "uninitialized trivially-typed field in a Config/Options/Spec",
+}
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Source preprocessing: blank out comments and string/char literals so rule
+# regexes never match prose or quoted text. Line structure is preserved
+# (every stripped character becomes a space; newlines survive).
+# ---------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = STRING
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # STRING or CHAR
+            quote = '"' if state == STRING else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = NORMAL
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions.
+# ---------------------------------------------------------------------------
+
+INLINE_ALLOW = re.compile(
+    r"simlint:\s*allow\((R[1-5])\)\s*(?::\s*(.*?))?\s*$")
+
+
+def inline_suppressions(original_text, path, errors):
+    """Maps rule -> set of line numbers the suppression covers."""
+    allowed = {}
+    for lineno, line in enumerate(original_text.splitlines(), start=1):
+        m = INLINE_ALLOW.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2)
+        if not reason:
+            errors.append(Violation(
+                path, lineno, rule,
+                "simlint:allow without a reason (write "
+                "`// simlint:allow(%s): why`)" % rule))
+            continue
+        # A suppression covers its own line and the next one, so it can sit
+        # above the flagged statement or trail it.
+        allowed.setdefault(rule, set()).update({lineno, lineno + 1})
+    return allowed
+
+
+def load_allowlist(path):
+    """Returns {(relpath, rule): reason}; raises on malformed lines."""
+    entries = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path) as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise SystemExit(
+                    f"{path}:{lineno}: allowlist entries are "
+                    f"`<path> <rule> <reason>`; got: {line!r}")
+            entry_path, rule, reason = parts
+            if rule not in RULES:
+                raise SystemExit(
+                    f"{path}:{lineno}: unknown rule {rule!r}")
+            entries[(entry_path, rule)] = reason
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Light structural parsing: function bodies and struct bodies.
+# ---------------------------------------------------------------------------
+
+def match_brace(text, open_idx):
+    """Index just past the brace matching text[open_idx] ('{'), or len."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+FUNC_OPEN = re.compile(r"\)[\s\w:&<>,*\[\]]*?\{")
+
+
+def iter_functions(stripped):
+    """Yields (start_line, body) for every `...) ... {` function body."""
+    pos = 0
+    while True:
+        m = FUNC_OPEN.search(stripped, pos)
+        if not m:
+            return
+        open_idx = m.end() - 1
+        end_idx = match_brace(stripped, open_idx)
+        start_line = stripped.count("\n", 0, open_idx) + 1
+        yield start_line, stripped[open_idx:end_idx], open_idx
+        pos = open_idx + 1
+
+
+# ---------------------------------------------------------------------------
+# R1: banned nondeterminism.
+# ---------------------------------------------------------------------------
+
+R1_PATTERNS = [
+    (re.compile(r"std::chrono::(system_clock|steady_clock|"
+                r"high_resolution_clock)"),
+     "std::chrono clock read"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937"),
+     "std::mt19937 (use common::Rng: seeded, cross-platform)"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "argless time()"),
+    (re.compile(r"\b(gettimeofday|clock_gettime|localtime|gmtime)\s*\("),
+     "wall-clock syscall"),
+]
+
+
+def check_r1(path, stripped, report):
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for pattern, what in R1_PATTERNS:
+            if pattern.search(line):
+                report(Violation(
+                    path, lineno, "R1",
+                    f"{what}: nondeterministic in sim-visible code; use "
+                    "sim::Simulator::now() / common::Rng (or allowlist a "
+                    "wall-clock-only measurement path)"))
+
+
+# ---------------------------------------------------------------------------
+# R2: unordered iteration in emission paths.
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]*?>\s+(\w+)\s*(?:;|=|\{)")
+EMISSION = re.compile(
+    r"EmitJsonMetric|EmitWallClockMetrics|DPDPU_LOG|printf\s*\(|"
+    r"std::cout|std::cerr|(?<![\w.])puts\s*\(|"
+    r"(?:\.|->)Schedule(?:At)?\s*\(")
+RANGE_FOR = re.compile(r"for\s*\(\s*[^;()]*?:\s*([^()]+?)\s*\)")
+SORT_CALL = re.compile(r"\b(?:std::)?(?:stable_)?sort\s*\(")
+
+
+def check_r2(path, stripped, report):
+    unordered_vars = set(UNORDERED_DECL.findall(stripped))
+    if not unordered_vars:
+        return
+    for start_line, body, _ in iter_functions(stripped):
+        if not EMISSION.search(body):
+            continue
+        for m in RANGE_FOR.finditer(body):
+            iterated = m.group(1)
+            names = set(re.findall(r"\w+", iterated))
+            hits = names & unordered_vars
+            if not hits:
+                continue
+            # "Sorted first" escape hatch: a sort() anywhere earlier in the
+            # same function body means the author already canonicalized.
+            if SORT_CALL.search(body, 0, m.start()):
+                continue
+            lineno = start_line + body.count("\n", 0, m.start())
+            report(Violation(
+                path, lineno, "R2",
+                f"iterating unordered container '{sorted(hits)[0]}' in a "
+                "function that emits metrics/logs or schedules events; "
+                "hash order is per-process — copy keys out and sort first"))
+
+
+# ---------------------------------------------------------------------------
+# R3: pointer-derived ordering.
+# ---------------------------------------------------------------------------
+
+R3_PATTERNS = [
+    (re.compile(r"\b(?:std::)?(?:unordered_)?(?:map|set)\s*<\s*"
+                r"(?:const\s+)?[\w:]+\s*\*"),
+     "container keyed on a raw pointer"),
+    (re.compile(r"std::hash\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*>"),
+     "std::hash over a raw pointer"),
+    (re.compile(r"std::less\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*>"),
+     "std::less over a raw pointer"),
+]
+
+
+def check_r3(path, stripped, report):
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for pattern, what in R3_PATTERNS:
+            if pattern.search(line):
+                report(Violation(
+                    path, lineno, "R3",
+                    f"{what}: pointer values differ across runs (ASLR, "
+                    "allocator); key on a stable id instead"))
+
+
+# ---------------------------------------------------------------------------
+# R4: dropped / laundered Status, and [[nodiscard]] regression.
+# ---------------------------------------------------------------------------
+
+VOID_LAUNDER = re.compile(r"\(\s*void\s*\)\s*[\w.>-]+\s*\(")
+
+
+def check_r4(path, stripped, report):
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if VOID_LAUNDER.search(line):
+            report(Violation(
+                path, lineno, "R4",
+                "(void)-launder of a function result defeats the "
+                "[[nodiscard]] sweep; handle the Status or annotate "
+                "with a reason"))
+
+
+def check_r4_nodiscard_markers(repo_root, report):
+    expectations = [
+        (os.path.join("src", "common", "status.h"),
+         re.compile(r"class\s+\[\[nodiscard\]\]\s+Status\b"),
+         "common::Status must stay `class [[nodiscard]] Status`"),
+        (os.path.join("src", "common", "result.h"),
+         re.compile(r"class\s+\[\[nodiscard\]\]\s+Result\b"),
+         "common::Result must stay `class [[nodiscard]] Result`"),
+        (os.path.join("src", "common", "buffer.h"),
+         re.compile(r"class\s+\[\[nodiscard\]\]\s+Buffer\b"),
+         "common::Buffer must stay `class [[nodiscard]] Buffer`"),
+    ]
+    for rel, pattern, message in expectations:
+        full = os.path.join(repo_root, rel)
+        if not os.path.exists(full):
+            continue
+        with open(full) as f:
+            if not pattern.search(f.read()):
+                report(Violation(rel, 1, "R4", message))
+
+
+# ---------------------------------------------------------------------------
+# R5: uninitialized trivially-typed config fields.
+# ---------------------------------------------------------------------------
+
+CONFIG_STRUCT = re.compile(r"struct\s+(\w*(?:Config|Options|Spec))\s*\{")
+TRIVIAL_TYPES = {
+    "bool", "char", "short", "int", "long", "unsigned", "float", "double",
+    "size_t", "ssize_t", "uintptr_t", "intptr_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "SimTime", "NodeId", "MrKey", "FileId", "LogLevel",
+}
+MEMBER_DECL = re.compile(
+    r"^\s*(?:const\s+|mutable\s+)*"
+    r"([\w:]+(?:\s*<[^;]*>)?(?:\s*\*+)?)"   # type
+    r"\s+(\w+)\s*(;|=|\{)")
+
+
+def split_top_level_statements(body):
+    """Yields (offset, stmt) for depth-1 statements of a brace body."""
+    depth = 0
+    start = 1  # skip opening brace
+    i = 1
+    while i < len(body):
+        c = body[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth < 0:
+                break
+            if depth == 0:
+                yield start, body[start:i + 1]
+                start = i + 1
+        elif c == ";" and depth == 0:
+            yield start, body[start:i + 1]
+            start = i + 1
+        i += 1
+
+
+def check_r5(path, stripped, report):
+    for m in CONFIG_STRUCT.finditer(stripped):
+        struct_name = m.group(1)
+        open_idx = stripped.index("{", m.start())
+        body = stripped[open_idx:match_brace(stripped, open_idx)]
+        for offset, stmt in split_top_level_statements(body):
+            if "(" in stmt or "static" in stmt or "constexpr" in stmt:
+                continue  # member function / class constant
+            dm = MEMBER_DECL.match(stmt.strip())
+            if not dm:
+                continue
+            type_name, field, terminator = dm.groups()
+            base = type_name.split("<")[0].split("::")[-1].rstrip("*&")
+            is_pointer = "*" in type_name
+            if terminator == ";" and (base in TRIVIAL_TYPES or is_pointer):
+                lineno = (stripped.count("\n", 0, open_idx + offset) + 1)
+                report(Violation(
+                    path, lineno, "R5",
+                    f"{struct_name}::{field} ({type_name.strip()}) has no "
+                    "default initializer; an indeterminate config field is "
+                    "UB and run-to-run noise — add `= ...` or `{}`"))
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+CHECKS = [check_r1, check_r2, check_r3, check_r4, check_r5]
+
+
+def lint_text(path, text, file_allow=None, errors=None):
+    """Lints one translation unit; returns surviving violations.
+
+    `file_allow` maps rule -> reason for file-level allowlist entries.
+    `errors`, when given, collects malformed-suppression diagnostics.
+    """
+    file_allow = file_allow or {}
+    errors = errors if errors is not None else []
+    allowed_lines = inline_suppressions(text, path, errors)
+    stripped = strip_comments_and_strings(text)
+    raw = []
+    for check in CHECKS:
+        check(path, stripped, raw.append)
+    survivors = []
+    for v in raw:
+        if v.rule in file_allow:
+            continue
+        if v.line in allowed_lines.get(v.rule, ()):
+            continue
+        survivors.append(v)
+    return survivors + errors
+
+
+def collect_files(repo_root, roots):
+    files = []
+    for root in roots:
+        base = os.path.join(repo_root, root)
+        if os.path.isfile(base):
+            files.append(base)
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="DPDPU determinism & invariant linter")
+    parser.add_argument("roots", nargs="*", default=list(DEFAULT_ROOTS),
+                        help="files or directories relative to the repo "
+                             f"root (default: {' '.join(DEFAULT_ROOTS)})")
+    parser.add_argument("--repo-root", default=REPO_ROOT)
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                             f"<repo>/{DEFAULT_ALLOWLIST})")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+
+    allowlist_path = args.allowlist or os.path.join(
+        args.repo_root, DEFAULT_ALLOWLIST)
+    allowlist = load_allowlist(allowlist_path)
+
+    violations = []
+    used_allowlist_keys = set()
+    for full in collect_files(args.repo_root, args.roots):
+        rel = os.path.relpath(full, args.repo_root)
+        file_allow = {}
+        for (entry_path, rule), reason in allowlist.items():
+            if entry_path == rel:
+                file_allow[rule] = reason
+                used_allowlist_keys.add((entry_path, rule))
+        with open(full) as f:
+            text = f.read()
+        violations.extend(lint_text(rel, text, file_allow))
+
+    # Stale allowlist entries rot into blanket waivers; reject them.
+    for key in sorted(set(allowlist) - used_allowlist_keys):
+        violations.append(Violation(
+            allowlist_path, 1, key[1],
+            f"stale allowlist entry for {key[0]} (file not scanned); "
+            "remove it"))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"simlint: {len(violations)} violation(s)")
+        return 1
+    print("simlint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
