@@ -48,17 +48,23 @@ MICRO_FILTER = ("BM_Crc32|BM_DeflateDecompress|BM_HuffmanDecode|"
                 "BM_SimulatorEvents|BM_PeriodicTaskTicks")
 
 
+# JSON-metric bench binaries gated against the baseline.
+FLEET_BENCHES = ("fleet_cpu_savings", "fleet_consistency")
+
+
 def run_fleet(build_dir):
-    """Runs fleet_cpu_savings; returns {key: (value, unit)}."""
-    exe = os.path.join(build_dir, "bench", "fleet_cpu_savings")
-    out = subprocess.run([exe], capture_output=True, text=True, check=True)
+    """Runs the fleet benches; returns {key: (value, unit)}."""
     metrics = {}
-    for line in out.stdout.splitlines():
-        if not line.startswith("{"):
-            continue
-        rec = json.loads(line)
-        key = f"{rec['bench']}/{rec['metric']}"
-        metrics[key] = (rec["value"], rec["unit"])
+    for name in FLEET_BENCHES:
+        exe = os.path.join(build_dir, "bench", name)
+        out = subprocess.run([exe], capture_output=True, text=True,
+                             check=True)
+        for line in out.stdout.splitlines():
+            if not line.startswith("{"):
+                continue
+            rec = json.loads(line)
+            key = f"{rec['bench']}/{rec['metric']}"
+            metrics[key] = (rec["value"], rec["unit"])
     return metrics
 
 

@@ -1,0 +1,262 @@
+#include "cluster/consistency.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "common/logging.h"
+#include "core/storage/storage_engine.h"
+
+namespace dpdpu::cluster {
+
+// ---------------------------------------------------------------------------
+// Version authority.
+// ---------------------------------------------------------------------------
+
+ConsistencyManager::ConsistencyManager(Fleet* fleet,
+                                       ConsistencyOptions options)
+    : fleet_(fleet), options_(options) {}
+
+uint64_t ConsistencyManager::NextVersion(uint64_t offset, uint64_t key,
+                                         uint32_t length) {
+  AuthorityEntry& entry = authority_[offset];
+  entry.key = key;
+  entry.length = length;
+  ++stats_.versions_issued;
+  return ++entry.next_version;
+}
+
+void ConsistencyManager::Commit(uint64_t offset, uint64_t version) {
+  AuthorityEntry& entry = authority_[offset];
+  entry.committed = std::max(entry.committed, version);
+}
+
+uint64_t ConsistencyManager::CommittedVersion(uint64_t offset) const {
+  auto it = authority_.find(offset);
+  return it == authority_.end() ? 0 : it->second.committed;
+}
+
+// ---------------------------------------------------------------------------
+// Hinted handoff.
+// ---------------------------------------------------------------------------
+
+void ConsistencyManager::QueueHint(uint32_t node_index, uint64_t offset,
+                                   uint64_t version, Buffer data) {
+  std::deque<Hint>& queue = hints_[node_index];
+  // Coalesce per block: only the newest version matters for replay, so
+  // a re-written block updates its hint in place. This bounds the queue
+  // (and the catch-up transfer) by the number of distinct blocks
+  // written while the node was down, not the write count.
+  for (Hint& hint : queue) {
+    if (hint.offset == offset) {
+      if (version >= hint.version) {
+        hint.version = version;
+        hint.data = std::move(data);
+      }
+      return;
+    }
+  }
+  if (queue.size() >= options_.max_hints_per_node) {
+    // Queue abandoned: recovery will diff the version maps instead.
+    ++stats_.hints_dropped;
+    overflowed_.insert(node_index);
+    return;
+  }
+  queue.push_back(Hint{offset, version, std::move(data)});
+  ++stats_.hints_queued;
+}
+
+size_t ConsistencyManager::hints_pending(uint32_t node_index) const {
+  auto it = hints_.find(node_index);
+  return it == hints_.end() ? 0 : it->second.size();
+}
+
+bool ConsistencyManager::hint_overflowed(uint32_t node_index) const {
+  return overflowed_.count(node_index) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Read-repair dedup.
+// ---------------------------------------------------------------------------
+
+bool ConsistencyManager::BeginRepair(uint32_t node_index, uint64_t offset) {
+  return active_repairs_.insert({node_index, offset}).second;
+}
+
+void ConsistencyManager::EndRepair(uint32_t node_index, uint64_t offset) {
+  active_repairs_.erase({node_index, offset});
+}
+
+// ---------------------------------------------------------------------------
+// Catch-up transfer.
+// ---------------------------------------------------------------------------
+
+// One recovery in flight: replays hints (or walks the version-map diff)
+// one block at a time — sequential on purpose, for a deterministic and
+// easily-audited transfer order. Connections are opened from client node
+// 0's Network Engine, so catch-up traffic crosses the simulated fabric
+// and is charged like any other remote storage traffic.
+struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
+  struct DiffItem {
+    uint64_t offset = 0;
+    uint64_t key = 0;
+    uint32_t length = 0;
+    uint64_t committed = 0;
+  };
+
+  ConsistencyManager* cm = nullptr;
+  Fleet* fleet = nullptr;
+  uint32_t node_index = 0;
+  std::function<void()> done;
+
+  std::deque<ConsistencyManager::Hint> hints;
+  std::deque<DiffItem> diff;
+
+  std::unique_ptr<se::RemoteStorageClient> to_node;
+  std::map<netsub::NodeId, std::unique_ptr<se::RemoteStorageClient>>
+      donors;
+
+  se::RemoteStorageClient* NodeClient() {
+    if (!to_node) {
+      to_node = std::make_unique<se::RemoteStorageClient>(
+          &fleet->client(0).network(), fleet->storage_node_id(node_index),
+          fleet->spec().storage_template.storage.listen_port);
+    }
+    return to_node.get();
+  }
+
+  se::RemoteStorageClient* DonorClient(netsub::NodeId donor) {
+    auto it = donors.find(donor);
+    if (it == donors.end()) {
+      it = donors
+               .emplace(donor,
+                        std::make_unique<se::RemoteStorageClient>(
+                            &fleet->client(0).network(), donor,
+                            fleet->spec()
+                                .storage_template.storage.listen_port))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  void Start() {
+    if (hints.empty() && diff.empty()) {
+      Finish();
+      return;
+    }
+    if (!hints.empty()) {
+      ReplayNextHint();
+    } else {
+      CopyNextDiff();
+    }
+  }
+
+  void ReplayNextHint() {
+    if (hints.empty()) {
+      Finish();
+      return;
+    }
+    ConsistencyManager::Hint hint = std::move(hints.front());
+    hints.pop_front();
+    ++cm->stats_.hints_replayed;
+    cm->stats_.hint_bytes += hint.data.size();
+    NodeClient()->WriteVersioned(
+        fleet->shard_file(node_index), hint.offset, hint.version,
+        std::move(hint.data), [self = shared_from_this()](Status s) {
+          if (!s.ok()) ++self->cm->stats_.catchup_write_failures;
+          self->ReplayNextHint();
+        });
+  }
+
+  void CopyNextDiff() {
+    if (diff.empty()) {
+      Finish();
+      return;
+    }
+    DiffItem item = diff.front();
+    diff.pop_front();
+    // Donor candidates: live, readable replicas of the block's key.
+    std::vector<netsub::NodeId> candidates;
+    netsub::NodeId self_id = fleet->storage_node_id(node_index);
+    for (netsub::NodeId server :
+         fleet->router().PreferenceList(HashU64(item.key))) {
+      if (server == self_id) continue;
+      if (!fleet->router().IsReadable(server)) continue;
+      candidates.push_back(server);
+    }
+    TryDonor(item, std::move(candidates), 0);
+  }
+
+  void TryDonor(DiffItem item, std::vector<netsub::NodeId> candidates,
+                size_t index) {
+    if (index >= candidates.size()) {
+      ++cm->stats_.diff_blocks_unrepaired;
+      CopyNextDiff();
+      return;
+    }
+    netsub::NodeId donor = candidates[index];
+    fssub::FileId donor_file =
+        fleet->shard_file(fleet->storage_index(donor));
+    DonorClient(donor)->ReadVersioned(
+        donor_file, item.offset, item.length,
+        [self = shared_from_this(), item, candidates, index](
+            Result<Buffer> data, uint64_t version) mutable {
+          if (!data.ok() || version < item.committed) {
+            // Donor is behind (or unreachable): try the next replica.
+            self->TryDonor(item, std::move(candidates), index + 1);
+            return;
+          }
+          ++self->cm->stats_.diff_blocks_copied;
+          self->cm->stats_.diff_bytes += data->size();
+          self->NodeClient()->WriteVersioned(
+              self->fleet->shard_file(self->node_index), item.offset,
+              version, std::move(*data),
+              [self](Status s) {
+                if (!s.ok()) ++self->cm->stats_.catchup_write_failures;
+                self->CopyNextDiff();
+              });
+        });
+  }
+
+  void Finish() {
+    ++cm->stats_.catchups_completed;
+    if (done) done();
+  }
+};
+
+void ConsistencyManager::CatchUp(uint32_t node_index,
+                                 std::function<void()> done) {
+  auto job = std::make_shared<CatchUpJob>();
+  job->cm = this;
+  job->fleet = fleet_;
+  job->node_index = node_index;
+  job->done = std::move(done);
+
+  if (overflowed_.count(node_index) == 0) {
+    auto it = hints_.find(node_index);
+    if (it != hints_.end()) job->hints = std::move(it->second);
+  } else {
+    // Hint queue overflowed while the node was down: diff the authority's
+    // committed versions against the node's VersionMap and copy only the
+    // blocks that are behind.
+    ++stats_.hint_overflow_fallbacks;
+    const se::VersionMap& local =
+        fleet_->storage(node_index).storage().versions();
+    fssub::FileId file = fleet_->shard_file(node_index);
+    for (const auto& [offset, entry] : authority_) {
+      if (entry.committed == 0) continue;
+      if (local.Lookup(file, offset) < entry.committed) {
+        job->diff.push_back(CatchUpJob::DiffItem{offset, entry.key,
+                                                 entry.length,
+                                                 entry.committed});
+      }
+    }
+  }
+  hints_.erase(node_index);
+  overflowed_.erase(node_index);
+  job->Start();
+}
+
+}  // namespace dpdpu::cluster

@@ -32,6 +32,9 @@ Fleet::Fleet(sim::Simulator* sim, FleetSpec spec)
   }
 
   router_ = std::make_unique<ShardRouter>(server_ids, spec_.routing);
+  consistency_ =
+      std::make_unique<ConsistencyManager>(this, spec_.consistency);
+  inflight_rpcs_.assign(spec_.storage_servers, 0);
 
   // Format the shard file on every storage server and start serving.
   // Content is identical fleet-wide so any replica can answer any read.
@@ -77,7 +80,17 @@ void Fleet::FailStorageNode(uint32_t i, FailMode mode) {
 
 void Fleet::RecoverStorageNode(uint32_t i) {
   fabric_->SetNodeUp(storage_node_id(i), true);
-  router_->MarkUp(storage_node_id(i));
+  if (!consistency_->enabled()) {
+    // Bug repro: the replica rejoins the read set immediately and serves
+    // whatever it held when it went down.
+    router_->MarkUp(storage_node_id(i));
+    return;
+  }
+  // Writes flow to the node at once (so it stops falling behind), but
+  // reads stay away until catch-up has replayed what it missed.
+  router_->MarkWriteOnly(storage_node_id(i));
+  consistency_->CatchUp(
+      i, [this, i] { router_->MarkUp(storage_node_id(i)); });
 }
 
 void Fleet::StartProbes() {

@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/consistency.h"
 #include "cluster/shard_router.h"
+#include "common/logging.h"
 #include "core/runtime/metrics.h"
 #include "core/runtime/platform.h"
 #include "netsub/network.h"
@@ -25,6 +27,11 @@ struct FleetSpec {
   uint32_t storage_servers = 4;
   uint32_t clients = 8;
   ShardRouter::Options routing;
+  /// Replica-consistency layer (versioned writes, hinted handoff,
+  /// catch-up before read re-admission, read-repair). Disabled by
+  /// default: recovery then re-admits replicas immediately, which is
+  /// the stale-read bug this layer fixes.
+  ConsistencyOptions consistency;
 
   /// Per-node option templates; the fleet assigns node ids and machine
   /// names. Storage nodes get StorageServerSpec machines, clients get
@@ -69,6 +76,7 @@ class Fleet {
   sim::Simulator* simulator() { return sim_; }
   netsub::Network& fabric() { return *fabric_; }
   ShardRouter& router() { return *router_; }
+  ConsistencyManager& consistency() { return *consistency_; }
   const FleetSpec& spec() const { return spec_; }
 
   uint32_t storage_servers() const { return spec_.storage_servers; }
@@ -91,9 +99,35 @@ class Fleet {
   // --- failure injection ---------------------------------------------------
 
   void FailStorageNode(uint32_t i, FailMode mode = FailMode::kGraceful);
+  /// Brings the node back. With the consistency layer enabled the node
+  /// is write-only routed until catch-up completes; only then do reads
+  /// steer to it again. Disabled, it is re-admitted immediately (the
+  /// stale-read bug).
   void RecoverStorageNode(uint32_t i);
   bool IsStorageNodeUp(uint32_t i) const {
     return router_->IsUp(storage_node_id(i));
+  }
+  /// Whether reads may currently route to the node (false while down or
+  /// catching up).
+  bool IsStorageNodeReadable(uint32_t i) const {
+    return router_->IsReadable(storage_node_id(i));
+  }
+
+  // --- per-node RPC accounting --------------------------------------------
+
+  /// Workload clients bracket every storage RPC with these, so tests can
+  /// assert graceful drains: after FailStorageNode(kGraceful), in-flight
+  /// requests complete and the count returns to zero.
+  void NoteRpcIssued(netsub::NodeId node) {
+    ++inflight_rpcs_.at(storage_index(node));
+  }
+  void NoteRpcDone(netsub::NodeId node) {
+    uint64_t& count = inflight_rpcs_.at(storage_index(node));
+    DPDPU_CHECK(count > 0);
+    --count;
+  }
+  uint64_t inflight_rpcs(uint32_t i) const {
+    return inflight_rpcs_.at(i);
   }
 
   // --- fleet metrics -------------------------------------------------------
@@ -126,6 +160,8 @@ class Fleet {
   std::vector<std::unique_ptr<rt::Platform>> client_nodes_;
   std::vector<fssub::FileId> shard_files_;
   std::unique_ptr<ShardRouter> router_;
+  std::unique_ptr<ConsistencyManager> consistency_;
+  std::vector<uint64_t> inflight_rpcs_;  // by storage index
 
   std::vector<rt::UtilizationProbe> storage_probes_;
   std::vector<rt::UtilizationProbe> client_probes_;

@@ -66,7 +66,7 @@ std::optional<netsub::NodeId> ShardRouter::Route(uint64_t key_hash) {
 std::optional<netsub::NodeId> ShardRouter::Route(
     uint64_t key_hash, const std::vector<netsub::NodeId>& exclude) {
   for (netsub::NodeId server : PreferenceList(key_hash)) {
-    if (!IsUp(server)) continue;
+    if (!IsReadable(server)) continue;
     if (std::find(exclude.begin(), exclude.end(), server) !=
         exclude.end()) {
       continue;
@@ -77,8 +77,19 @@ std::optional<netsub::NodeId> ShardRouter::Route(
   return std::nullopt;
 }
 
-void ShardRouter::MarkDown(netsub::NodeId server) { down_.insert(server); }
+void ShardRouter::MarkDown(netsub::NodeId server) {
+  down_.insert(server);
+  write_only_.erase(server);
+}
 
-void ShardRouter::MarkUp(netsub::NodeId server) { down_.erase(server); }
+void ShardRouter::MarkUp(netsub::NodeId server) {
+  down_.erase(server);
+  write_only_.erase(server);
+}
+
+void ShardRouter::MarkWriteOnly(netsub::NodeId server) {
+  down_.erase(server);
+  write_only_.insert(server);
+}
 
 }  // namespace dpdpu::cluster

@@ -56,7 +56,17 @@ class ShardRouter {
 
   void MarkDown(netsub::NodeId server);
   void MarkUp(netsub::NodeId server);
+  /// Recovery gate: the server accepts writes (so it does not fall
+  /// further behind) but is excluded from read routing until catch-up
+  /// completes and MarkUp() re-admits it.
+  void MarkWriteOnly(netsub::NodeId server);
   bool IsUp(netsub::NodeId server) const { return down_.count(server) == 0; }
+  /// Whether writes may be sent to this server (up or write-only).
+  bool IsWritable(netsub::NodeId server) const { return IsUp(server); }
+  /// Whether reads may be routed to this server (up and caught up).
+  bool IsReadable(netsub::NodeId server) const {
+    return IsUp(server) && write_only_.count(server) == 0;
+  }
   size_t live_servers() const { return servers_.size() - down_.size(); }
   const std::vector<netsub::NodeId>& servers() const { return servers_; }
   uint32_t replication() const { return options_.replication; }
@@ -79,6 +89,7 @@ class ShardRouter {
   std::vector<netsub::NodeId> servers_;
   std::vector<Point> ring_;  // sorted by hash
   std::set<netsub::NodeId> down_;
+  std::set<netsub::NodeId> write_only_;
   std::map<netsub::NodeId, uint64_t> routed_;
 };
 

@@ -34,9 +34,14 @@ struct WorkloadOptions {
   /// 0 = uniform key popularity; otherwise Zipfian skew theta.
   double zipf_theta = 0.0;
   uint64_t seed = 1;
-  /// When > 0, an unanswered request re-steers to the next live replica
-  /// after this long (hard-failure recovery). 0 disables timeouts —
-  /// right for graceful failover, where in-flight requests complete.
+  /// When > 0, an unanswered read re-steers to the next live replica
+  /// after this long, and an unanswered per-replica write is retried
+  /// (hard-failure recovery). 0 disables timeouts — right for graceful
+  /// failover, where in-flight requests complete. Independent of the
+  /// timeout, a connection abort (MiniTCP's retransmission cap firing
+  /// the close callback) fails the RPC immediately, so failover latency
+  /// is bounded by TcpConfig::max_retransmit_time even with timeouts
+  /// off.
   sim::SimTime retry_timeout = 0;
   uint32_t max_attempts = 3;
 };
@@ -49,7 +54,19 @@ class FleetClient {
     uint64_t issued = 0;
     uint64_t completed = 0;
     uint64_t failed = 0;     // exhausted replicas/attempts
-    uint64_t resteered = 0;  // timeout re-steers to a replica
+    uint64_t resteered = 0;  // re-steers to a replica (timeout, error,
+                             // connection abort, or stale version)
+    /// Completed reads whose payload content was older than the version
+    /// committed before the read started — the stale-read bug made
+    /// measurable by stamped payloads.
+    uint64_t stale_reads = 0;
+    /// Reads re-steered because the replica's served version was behind
+    /// the committed one (consistency layer on).
+    uint64_t stale_replica_resteers = 0;
+    /// Background read-repairs this client completed.
+    uint64_t read_repairs = 0;
+    uint64_t write_retries = 0;  // per-replica retries after a timeout/abort
+    uint64_t write_giveups = 0;  // replicas abandoned after max_attempts
   };
 
   FleetClient(Fleet* fleet, uint32_t client_index, WorkloadOptions options);
@@ -58,6 +75,11 @@ class FleetClient {
   /// from this client's deterministic RNG). `done` fires when the
   /// operation completes or is abandoned.
   void IssueOne(std::function<void()> done = nullptr);
+
+  /// Deterministic targeted operations for tests and benches: no RNG
+  /// draws, offloadable flags.
+  void IssueRead(uint64_t key, std::function<void()> done = nullptr);
+  void IssueWrite(uint64_t key, std::function<void()> done = nullptr);
 
   const Stats& stats() const { return stats_; }
   const Histogram& latency_ns() const { return latency_; }
@@ -68,7 +90,20 @@ class FleetClient {
   struct Op;
 
   se::RemoteStorageClient* ClientFor(netsub::NodeId node);
+  void Issue(uint64_t key, bool is_read, uint8_t flags,
+             std::function<void()> done);
   void AttemptRead(std::shared_ptr<Op> op);
+  void OnReadReply(std::shared_ptr<Op> op, netsub::NodeId server,
+                   Result<Buffer> data, uint64_t version);
+  void CompleteRead(std::shared_ptr<Op> op, Buffer data, uint64_t version);
+  bool HasUntriedReadReplica(const std::shared_ptr<Op>& op) const;
+  void RepairReplica(netsub::NodeId node, uint64_t offset,
+                     uint64_t version, const Buffer& data);
+  void StartWrite(std::shared_ptr<Op> op);
+  void AttemptWriteSub(std::shared_ptr<Op> op, size_t sub_index);
+  void SettleWriteSub(std::shared_ptr<Op> op, size_t sub_index, bool acked);
+  void GiveUpWriteSub(std::shared_ptr<Op> op, size_t sub_index);
+  void FinishWrite(std::shared_ptr<Op> op);
   void Finish(std::shared_ptr<Op> op, bool ok);
 
   Fleet* fleet_;
@@ -76,6 +111,7 @@ class FleetClient {
   WorkloadOptions options_;
   Pcg32 rng_;
   ZipfGenerator zipf_;
+  uint64_t stamp_seed_;
   std::map<netsub::NodeId, std::unique_ptr<se::RemoteStorageClient>>
       connections_;
   Stats stats_;

@@ -25,6 +25,9 @@ void NeSocket::SetReceiveCallback(ReceiveCallback cb) {
 void NeSocket::Close() { conn_->Close(); }
 
 void NeSocket::WireReceivePath() {
+  conn_->SetCloseCallback([this] {
+    if (on_close_) on_close_();
+  });
   conn_->SetReceiveCallback([this](ByteSpan data) {
     bytes_received_ += data.size();
     if (landing_ == SocketLanding::kDpu) {

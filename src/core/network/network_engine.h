@@ -56,6 +56,7 @@ enum class SocketLanding : uint8_t { kHost, kDpu };
 class NeSocket {
  public:
   using ReceiveCallback = std::function<void(ByteSpan)>;
+  using CloseCallback = std::function<void()>;
 
   /// Queues bytes for transmission. Host-side cost depends on the mode
   /// and landing.
@@ -64,12 +65,19 @@ class NeSocket {
   /// In-order delivery to the host application.
   void SetReceiveCallback(ReceiveCallback cb);
 
+  /// Fires when the underlying connection closes or aborts (e.g. the
+  /// MiniTCP retransmission cap reaping a connection to a dark node).
+  /// Clients use this to fail outstanding requests immediately instead
+  /// of waiting for an application-level timeout.
+  void SetCloseCallback(CloseCallback cb) { on_close_ = std::move(cb); }
+
   /// Declares where this socket's endpoint runs (default: host).
   void SetLanding(SocketLanding landing) { landing_ = landing; }
   SocketLanding landing() const { return landing_; }
 
   void Close();
   bool established() const { return conn_->established(); }
+  bool closed() const { return conn_->closed(); }
   netsub::TcpConnection* connection() { return conn_; }
 
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -87,6 +95,7 @@ class NeSocket {
   netsub::TcpConnection* conn_;
   SocketLanding landing_ = SocketLanding::kHost;
   ReceiveCallback on_receive_;
+  CloseCallback on_close_;
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_received_ = 0;
   // Host-bound delivery accounting (ring occupancy drives flow control).

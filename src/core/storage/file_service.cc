@@ -174,6 +174,7 @@ void FileService::WriteAsync(fssub::FileId file, uint64_t offset,
                 server_->ssd().SubmitWrite(
                     data.size(),
                     [this, file, offset, data = std::move(data)] {
+                      InvalidateRange(file, offset, data.size());
                       Status s = fs_->Write(file, offset, data.span());
                       if (!s.ok()) {
                         DPDPU_LOG(Error)
@@ -186,6 +187,12 @@ void FileService::WriteAsync(fssub::FileId file, uint64_t offset,
         server_->ssd().SubmitWrite(
             bytes, [this, file, offset, data = std::move(data),
                     cb = std::move(cb)] {
+              // Invalidate again at completion: a read that raced this
+              // write through the SSD queue may have re-populated the
+              // cache with the pre-write block after the submit-time
+              // invalidate, and would otherwise serve that stale copy
+              // until the next write or eviction.
+              InvalidateRange(file, offset, data.size());
               cb(fs_->Write(file, offset, data.span()));
             });
       });

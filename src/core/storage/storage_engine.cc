@@ -1,5 +1,7 @@
 #include "core/storage/storage_engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "hw/calibration.h"
 
@@ -16,6 +18,11 @@ Buffer EncodeRemoteRequest(const RemoteRequest& request) {
   out.AppendU64(request.tag);
   out.AppendU8(static_cast<uint8_t>(request.op));
   out.AppendU8(request.flags);
+  // The version rides the wire only for versioned traffic, so the legacy
+  // frame layout (and every unversioned bench trace) is unchanged.
+  if (request.flags & kRequestFlagVersioned) {
+    out.AppendU64(request.version);
+  }
   out.AppendU32(request.file);
   out.AppendU64(request.offset);
   out.AppendU32(request.length);
@@ -30,9 +37,15 @@ Result<RemoteRequest> ParseRemoteRequest(ByteSpan payload) {
   uint8_t op;
   uint32_t data_len;
   if (!r.ReadU64(&request.tag) || !r.ReadU8(&op) ||
-      !r.ReadU8(&request.flags) || !r.ReadU32(&request.file) ||
-      !r.ReadU64(&request.offset) || !r.ReadU32(&request.length) ||
-      !r.ReadU32(&data_len)) {
+      !r.ReadU8(&request.flags)) {
+    return Status::Corruption("remote request: truncated header");
+  }
+  if ((request.flags & kRequestFlagVersioned) &&
+      !r.ReadU64(&request.version)) {
+    return Status::Corruption("remote request: truncated version");
+  }
+  if (!r.ReadU32(&request.file) || !r.ReadU64(&request.offset) ||
+      !r.ReadU32(&request.length) || !r.ReadU32(&data_len)) {
     return Status::Corruption("remote request: truncated header");
   }
   if (op != static_cast<uint8_t>(RemoteOp::kRead) &&
@@ -46,10 +59,18 @@ Result<RemoteRequest> ParseRemoteRequest(ByteSpan payload) {
   return request;
 }
 
+namespace {
+constexpr uint8_t kResponseFlagOk = 1;
+constexpr uint8_t kResponseFlagHasVersion = 2;
+}  // namespace
+
 Buffer EncodeRemoteResponse(const RemoteResponse& response) {
   Buffer out;
   out.AppendU64(response.tag);
-  out.AppendU8(response.ok ? 1 : 0);
+  uint8_t flags = (response.ok ? kResponseFlagOk : 0) |
+                  (response.has_version ? kResponseFlagHasVersion : 0);
+  out.AppendU8(flags);
+  if (response.has_version) out.AppendU64(response.version);
   out.AppendU32(static_cast<uint32_t>(response.data.size()));
   out.Append(response.data.span());
   return out;
@@ -58,17 +79,47 @@ Buffer EncodeRemoteResponse(const RemoteResponse& response) {
 Result<RemoteResponse> ParseRemoteResponse(ByteSpan payload) {
   ByteReader r(payload);
   RemoteResponse response;
-  uint8_t ok;
+  uint8_t flags;
   uint32_t data_len;
-  if (!r.ReadU64(&response.tag) || !r.ReadU8(&ok) ||
-      !r.ReadU32(&data_len)) {
+  if (!r.ReadU64(&response.tag) || !r.ReadU8(&flags)) {
     return Status::Corruption("remote response: truncated header");
   }
-  response.ok = ok != 0;
+  response.ok = (flags & kResponseFlagOk) != 0;
+  response.has_version = (flags & kResponseFlagHasVersion) != 0;
+  if (response.has_version && !r.ReadU64(&response.version)) {
+    return Status::Corruption("remote response: truncated version");
+  }
+  if (!r.ReadU32(&data_len)) {
+    return Status::Corruption("remote response: truncated header");
+  }
   if (!r.ReadBytes(data_len, &response.data)) {
     return Status::Corruption("remote response: truncated payload");
   }
   return response;
+}
+
+// ---------------------------------------------------------------------------
+// VersionMap.
+// ---------------------------------------------------------------------------
+
+bool VersionMap::Admit(fssub::FileId file, uint64_t offset, uint32_t length,
+                       uint64_t version) {
+  Entry& entry = entries_[Key{file, offset}];
+  if (version < entry.pending) return false;
+  entry.pending = version;
+  entry.length = length;
+  return true;
+}
+
+void VersionMap::MarkDurable(fssub::FileId file, uint64_t offset,
+                             uint64_t version) {
+  Entry& entry = entries_[Key{file, offset}];
+  entry.version = std::max(entry.version, version);
+}
+
+uint64_t VersionMap::Lookup(fssub::FileId file, uint64_t offset) const {
+  auto it = entries_.find(Key{file, offset});
+  return it == entries_.end() ? 0 : it->second.version;
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +366,56 @@ void StorageEngine::Serve() {
 
 void StorageEngine::HandleRequest(RemoteRequest request,
                                   std::function<void(Buffer)> reply) {
+  if (request.flags & kRequestFlagVersioned) {
+    if (request.op == RemoteOp::kWrite) {
+      // Admit through the version map on the DPU-side path. A stale
+      // version (a hint replay or retried write racing a newer write to
+      // the same block) is acknowledged without being applied —
+      // last-writer-wins keeps catch-up idempotent.
+      if (!versions_.Admit(request.file, request.offset,
+                           static_cast<uint32_t>(request.data.size()),
+                           request.version)) {
+        RemoteResponse resp;
+        resp.tag = request.tag;
+        resp.ok = true;
+        resp.has_version = true;
+        resp.version = versions_.Lookup(request.file, request.offset);
+        reply(EncodeRemoteResponse(resp));
+        return;
+      }
+      // The version becomes read-visible only once the data write has
+      // completed (the reply fires after the write-through) — a read
+      // racing the in-flight write must see the old version, or it
+      // would trust a block whose content hasn't landed.
+      uint64_t version = request.version;
+      fssub::FileId wfile = request.file;
+      uint64_t woffset = request.offset;
+      reply = [this, wfile, woffset, version,
+               inner = std::move(reply)](Buffer encoded) {
+        Result<RemoteResponse> resp = ParseRemoteResponse(encoded.span());
+        if (resp.ok() && resp->ok) {
+          versions_.MarkDurable(wfile, woffset, version);
+        }
+        inner(std::move(encoded));
+      };
+    } else {
+      // Stamp the stored block version onto the read response so the
+      // client can detect a stale replica (read-repair backstop).
+      fssub::FileId file = request.file;
+      uint64_t offset = request.offset;
+      reply = [this, file, offset,
+               inner = std::move(reply)](Buffer encoded) {
+        Result<RemoteResponse> resp = ParseRemoteResponse(encoded.span());
+        if (!resp.ok()) {
+          inner(std::move(encoded));
+          return;
+        }
+        resp->has_version = true;
+        resp->version = versions_.Lookup(file, offset);
+        inner(EncodeRemoteResponse(*resp));
+      };
+    }
+  }
   TrafficDirector::Route route = director_->Classify(request);
   if (route == TrafficDirector::Route::kDpu) {
     offload_->Execute(std::move(request), std::move(reply));
@@ -388,12 +489,59 @@ void StorageEngine::HostFallback(RemoteRequest request,
 
 RemoteStorageClient::RemoteStorageClient(ne::NetworkEngine* network,
                                          netsub::NodeId server,
-                                         uint16_t port) {
+                                         uint16_t port)
+    : sim_(network->simulator()), alive_(std::make_shared<bool>(true)) {
   socket_ = network->Connect(server, port);
   socket_->SetReceiveCallback([this](ByteSpan data) { OnResponse(data); });
+  socket_->SetCloseCallback([this, alive = alive_] {
+    closed_ = true;
+    // Fail pendings from a fresh event so callers may destroy this
+    // client from inside the failure callbacks (the connection's close
+    // callback is still on the stack here).
+    sim_->Schedule(0, [this, alive] {
+      if (*alive) FailAllPending();
+    });
+  });
+}
+
+RemoteStorageClient::~RemoteStorageClient() {
+  *alive_ = false;
+  socket_->SetReceiveCallback(nullptr);
+  socket_->SetCloseCallback(nullptr);
+}
+
+void RemoteStorageClient::FailAllPending() {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  // Tag order (std::map) keeps the failure dispatch deterministic. The
+  // callbacks may re-enter and destroy this client; only locals are
+  // touched from here on.
+  for (auto& [tag, cb] : pending) {
+    RemoteResponse resp;
+    resp.tag = tag;
+    resp.ok = false;
+    cb(std::move(resp));
+  }
 }
 
 void RemoteStorageClient::SendRequest(RemoteRequest request) {
+  if (closed_) {
+    // The connection is gone; fail this request from a fresh event the
+    // same way the close path fails in-flight ones.
+    uint64_t tag = request.tag;
+    sim_->Schedule(0, [this, alive = alive_, tag] {
+      if (!*alive) return;
+      auto it = pending_.find(tag);
+      if (it == pending_.end()) return;
+      auto cb = std::move(it->second);
+      pending_.erase(it);
+      RemoteResponse resp;
+      resp.tag = tag;
+      resp.ok = false;
+      cb(std::move(resp));
+    });
+    return;
+  }
   Buffer payload = EncodeRemoteRequest(request);
   Buffer framed;
   framed.AppendU32(static_cast<uint32_t>(payload.size()));
@@ -439,7 +587,47 @@ void RemoteStorageClient::Write(fssub::FileId file, uint64_t offset,
   SendRequest(std::move(request));
 }
 
+void RemoteStorageClient::ReadVersioned(
+    fssub::FileId file, uint64_t offset, uint32_t length,
+    std::function<void(Result<Buffer>, uint64_t)> cb, uint8_t flags) {
+  RemoteRequest request;
+  request.tag = next_tag_++;
+  request.op = RemoteOp::kRead;
+  request.file = file;
+  request.offset = offset;
+  request.length = length;
+  request.flags = flags | kRequestFlagVersioned;
+  pending_[request.tag] = [cb = std::move(cb)](RemoteResponse resp) {
+    if (resp.ok) {
+      cb(std::move(resp.data), resp.version);
+    } else {
+      cb(Status::Unavailable("remote read failed"), 0);
+    }
+  };
+  SendRequest(std::move(request));
+}
+
+void RemoteStorageClient::WriteVersioned(fssub::FileId file, uint64_t offset,
+                                         uint64_t version, Buffer data,
+                                         std::function<void(Status)> cb,
+                                         uint8_t flags) {
+  RemoteRequest request;
+  request.tag = next_tag_++;
+  request.op = RemoteOp::kWrite;
+  request.file = file;
+  request.offset = offset;
+  request.data = std::move(data);
+  request.flags = flags | kRequestFlagVersioned;
+  request.version = version;
+  pending_[request.tag] = [cb = std::move(cb)](RemoteResponse resp) {
+    cb(resp.ok ? Status::Ok()
+               : Status::Unavailable("remote write failed"));
+  };
+  SendRequest(std::move(request));
+}
+
 void RemoteStorageClient::OnResponse(ByteSpan data) {
+  auto alive = alive_;
   rx_pending_.Append(data);
   size_t consumed = 0;
   for (;;) {
@@ -456,6 +644,11 @@ void RemoteStorageClient::OnResponse(ByteSpan data) {
       auto cb = std::move(it->second);
       pending_.erase(it);
       cb(std::move(resp).value());
+      // Destroying the callback may drop the owner's last reference to
+      // this client (e.g. a catch-up job completing from inside its own
+      // response); stop touching members if so.
+      cb = nullptr;
+      if (!*alive) return;
     }
   }
   if (consumed > 0) {

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/buffer.h"
 #include "common/result.h"
@@ -47,9 +48,17 @@ struct RemoteRequest {
   /// Application hint the UDF may use for routing (e.g. "log replay
   /// requests must go to the host" — the partial-offload case).
   uint8_t flags = 0;
+  /// Write version for replica-consistency (kRequestFlagVersioned);
+  /// only on the wire when that flag is set, so unversioned traffic
+  /// keeps the original frame layout byte for byte.
+  uint64_t version = 0;
 };
 
 inline constexpr uint8_t kRequestFlagRequiresHost = 1;
+/// Versioned replication: writes carry a version the server records in
+/// its VersionMap (stale versions are suppressed, last-writer-wins);
+/// reads return the stored version alongside the data.
+inline constexpr uint8_t kRequestFlagVersioned = 2;
 
 Buffer EncodeRemoteRequest(const RemoteRequest& request);
 Result<RemoteRequest> ParseRemoteRequest(ByteSpan payload);
@@ -58,10 +67,63 @@ struct RemoteResponse {
   uint64_t tag = 0;
   bool ok = true;
   Buffer data;
+  /// Version of the block served (versioned reads / write acks). Only
+  /// on the wire when has_version is set; legacy responses are
+  /// byte-identical to the pre-versioning format.
+  bool has_version = false;
+  uint64_t version = 0;
 };
 
 Buffer EncodeRemoteResponse(const RemoteResponse& response);
 Result<RemoteResponse> ParseRemoteResponse(ByteSpan payload);
+
+// ---------------------------------------------------------------------------
+// Version map (replica consistency).
+// ---------------------------------------------------------------------------
+
+/// Per-(file, offset) write-version map maintained on the storage node's
+/// DPU-side request path. Versioned writes are admitted through it
+/// (stale versions are suppressed — last-writer-wins, which makes hint
+/// replay and catch-up copies idempotent against concurrent fresh
+/// writes); versioned reads stamp the stored version onto the response
+/// so clients can detect a stale replica. std::map keeps iteration
+/// deterministic for the catch-up diff.
+class VersionMap {
+ public:
+  struct Entry {
+    /// Read-visible version: the newest version whose data write has
+    /// completed. Reads report this one — never a version whose block
+    /// is still in the disk queue.
+    uint64_t version = 0;
+    /// Admission watermark, bumped at request arrival: orders racing
+    /// writes (an older version is suppressed even while the newer
+    /// one's data is still in flight).
+    uint64_t pending = 0;
+    uint32_t length = 0;
+  };
+  /// (file, offset) — block-granular, where a block is one write extent.
+  using Key = std::pair<fssub::FileId, uint64_t>;
+
+  /// Records `version` at (file, offset) if it is at least as new as the
+  /// admission watermark and returns true; returns false (no state
+  /// change) for a stale version, in which case the caller must not
+  /// apply the write.
+  bool Admit(fssub::FileId file, uint64_t offset, uint32_t length,
+             uint64_t version);
+
+  /// Makes `version` read-visible once its data write has completed.
+  void MarkDurable(fssub::FileId file, uint64_t offset, uint64_t version);
+
+  /// Read-visible version at (file, offset); 0 when never
+  /// versioned-written (or no versioned write has completed yet).
+  uint64_t Lookup(fssub::FileId file, uint64_t offset) const;
+
+  const std::map<Key, Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<Key, Entry> entries_;
+};
 
 // ---------------------------------------------------------------------------
 // Traffic director.
@@ -217,6 +279,10 @@ class StorageEngine {
     host_handler_ = std::move(handler);
   }
 
+  /// The node's write-version map. Populated only by versioned requests
+  /// (kRequestFlagVersioned), so unversioned deployments pay nothing.
+  const VersionMap& versions() const { return versions_; }
+
  private:
   void HandleRequest(RemoteRequest request,
                      std::function<void(Buffer)> reply);
@@ -231,6 +297,7 @@ class StorageEngine {
   std::unique_ptr<TrafficDirector> director_;
   std::unique_ptr<OffloadEngine> offload_;
   HostHandler host_handler_;
+  VersionMap versions_;
   std::vector<std::unique_ptr<class RequestFramer>> framers_;
 };
 
@@ -239,21 +306,47 @@ class RemoteStorageClient {
  public:
   RemoteStorageClient(ne::NetworkEngine* network, netsub::NodeId server,
                       uint16_t port);
+  ~RemoteStorageClient();
 
   void Read(fssub::FileId file, uint64_t offset, uint32_t length,
             std::function<void(Result<Buffer>)> cb, uint8_t flags = 0);
   void Write(fssub::FileId file, uint64_t offset, Buffer data,
              std::function<void(Status)> cb, uint8_t flags = 0);
 
+  /// Versioned read: the callback additionally receives the server's
+  /// stored version for the block (0 when never versioned-written, or
+  /// on failure).
+  void ReadVersioned(fssub::FileId file, uint64_t offset, uint32_t length,
+                     std::function<void(Result<Buffer>, uint64_t)> cb,
+                     uint8_t flags = 0);
+
+  /// Versioned write: the server records `version` in its VersionMap
+  /// and suppresses the write if it already holds something newer.
+  void WriteVersioned(fssub::FileId file, uint64_t offset, uint64_t version,
+                      Buffer data, std::function<void(Status)> cb,
+                      uint8_t flags = 0);
+
   uint64_t requests_outstanding() const { return pending_.size(); }
+
+  /// True once the underlying connection closed or aborted (e.g. the
+  /// MiniTCP retransmission cap fired against a dark node). All pending
+  /// requests fail with Unavailable; callers should open a fresh client.
+  bool closed() const { return closed_; }
 
  private:
   void SendRequest(RemoteRequest request);
   void OnResponse(ByteSpan payload);
+  void FailAllPending();
 
+  sim::Simulator* sim_;
   ne::NeSocket* socket_;
   Buffer rx_pending_;
   uint64_t next_tag_ = 1;
+  bool closed_ = false;
+  /// Liveness guard for the deferred close dispatch (the failure
+  /// callbacks run from a fresh event so callers may safely destroy
+  /// this client from within them).
+  std::shared_ptr<bool> alive_;
   std::map<uint64_t, std::function<void(RemoteResponse)>> pending_;
 };
 

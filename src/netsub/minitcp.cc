@@ -137,7 +137,18 @@ void TcpConnection::ArmRtoTimer() {
   if (!outstanding || rto_armed_) return;
   rto_armed_ = true;
   uint64_t generation = ++rto_generation_;
-  stack_->simulator()->Schedule(rto_,
+  sim::SimTime delay = rto_;
+  if (stalled_ && config_.max_retransmit_time > 0) {
+    // Deadline clamp: exponential backoff would overshoot the abort cap
+    // by up to a full RTO interval, leaving the close callback (which
+    // cluster clients use to re-steer) to fire long after
+    // max_retransmit_time. Fire the timer at the cap deadline instead so
+    // Abort() lands at exactly stall_start + max_retransmit_time.
+    sim::SimTime deadline = stall_started_at_ + config_.max_retransmit_time;
+    sim::SimTime now = stack_->simulator()->now();
+    delay = std::min(delay, deadline > now ? deadline - now : 1);
+  }
+  stack_->simulator()->Schedule(delay,
                                 [this, generation] { OnRtoFire(generation); });
 }
 

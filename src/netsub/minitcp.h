@@ -35,7 +35,10 @@ struct TcpConfig {
   /// Connection abort cap: once retransmissions have made no forward
   /// progress (no new cumulative ACK) for this long, the connection
   /// aborts and fires the close callback, so platforms reap connections
-  /// to dark nodes instead of retransmitting at rto_max forever.
+  /// to dark nodes instead of retransmitting at rto_max forever. The RTO
+  /// timer is clamped to the cap deadline during a stall, so the abort
+  /// (and the re-steer it triggers in cluster clients) fires at exactly
+  /// stall start + cap rather than overshooting by a backoff interval.
   /// 0 disables the cap.
   sim::SimTime max_retransmit_time = 10 * sim::kSecond;
 };

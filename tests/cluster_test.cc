@@ -12,7 +12,9 @@
 #include <tuple>
 #include <vector>
 
+#include "cluster/consistency.h"
 #include "cluster/fleet.h"
+#include "cluster/payload_stamp.h"
 #include "cluster/shard_router.h"
 #include "cluster/workload.h"
 #include "common/rng.h"
@@ -276,6 +278,277 @@ TEST(FleetTest, UsageAggregatesAndTimelineSamples) {
   for (double cores : fleet.storage_host_core_timeline()) {
     EXPECT_GE(cores, 0.0);
   }
+}
+
+TEST(PayloadStampTest, RoundTripAndVerify) {
+  Buffer payload = MakeStampedPayload(8192, PayloadStamp{7, 42, 99});
+  auto stamp = ParsePayloadStamp(payload.span());
+  ASSERT_TRUE(stamp.has_value());
+  EXPECT_EQ(stamp->key, 7u);
+  EXPECT_EQ(stamp->version, 42u);
+  EXPECT_EQ(stamp->seed, 99u);
+  EXPECT_TRUE(VerifyStampedPayload(payload.span()));
+  payload[payload.size() - 1] ^= 0xff;
+  EXPECT_FALSE(VerifyStampedPayload(payload.span()))
+      << "a corrupted body byte must fail verification";
+  Buffer zeros(8192);
+  EXPECT_FALSE(ParsePayloadStamp(zeros.span()).has_value())
+      << "never-written shard fill must not parse as a stamp";
+  Buffer other = MakeStampedPayload(8192, PayloadStamp{7, 43, 99});
+  EXPECT_FALSE(payload == other) << "versions must change the body";
+}
+
+TEST(ShardRouterTest, WriteOnlyNodesTakeWritesButNotReads) {
+  ShardRouter router(Servers(2), {.replication = 2});
+  router.MarkWriteOnly(1);
+  EXPECT_TRUE(router.IsUp(1));
+  EXPECT_TRUE(router.IsWritable(1));
+  EXPECT_FALSE(router.IsReadable(1));
+  for (uint64_t h : {1ull, 99ull, 12345ull}) {
+    EXPECT_EQ(*router.Route(h), 2u) << "reads must avoid write-only nodes";
+  }
+  router.MarkUp(1);
+  EXPECT_TRUE(router.IsReadable(1));
+}
+
+// The tentpole bug, deterministically: write a key, fail its primary,
+// write again (the surviving replica takes it), recover, read. Without
+// the consistency layer the recovered primary rejoins the read set
+// immediately and serves its pre-failure block; with it, catch-up
+// replays the hinted write before reads return to the node.
+TEST(ConsistencyTest, RecoveredReplicaServesStaleDataWithoutLayer) {
+  auto run = [](bool enabled) {
+    sim::Simulator sim;
+    FleetSpec spec = SmallFleetSpec(2, 1, 2);
+    spec.consistency.enabled = enabled;
+    Fleet fleet(&sim, spec);
+    FleetClient client(&fleet, 0, SmallWorkload());
+
+    constexpr uint64_t kKey = 3;
+    uint32_t primary = fleet.storage_index(
+        fleet.router().PreferenceList(HashU64(kKey))[0]);
+
+    client.IssueWrite(kKey);
+    sim.Run();
+    fleet.FailStorageNode(primary, FailMode::kGraceful);
+    client.IssueWrite(kKey);  // reaches only the surviving replica
+    sim.Run();
+    fleet.RecoverStorageNode(primary);
+    sim.Run();  // drains catch-up when the layer is on
+    EXPECT_TRUE(fleet.IsStorageNodeReadable(primary));
+    client.IssueRead(kKey);  // routes to the recovered primary
+    sim.Run();
+
+    EXPECT_EQ(client.stats().completed, 3u);
+    EXPECT_EQ(client.stats().failed, 0u);
+    return client.stats().stale_reads;
+  };
+  EXPECT_GE(run(false), 1u) << "without the layer the recovered primary "
+                               "must serve the pre-failure block";
+  EXPECT_EQ(run(true), 0u) << "catch-up must bring the primary current "
+                              "before reads return to it";
+}
+
+TEST(ConsistencyTest, CatchUpReplaysHintsBeforeReadmission) {
+  sim::Simulator sim;
+  FleetSpec spec = SmallFleetSpec(2, 1, 2);
+  spec.consistency.enabled = true;
+  Fleet fleet(&sim, spec);
+  FleetClient client(&fleet, 0, SmallWorkload());
+
+  fleet.FailStorageNode(0, FailMode::kGraceful);
+  for (uint64_t key = 0; key < 6; ++key) client.IssueWrite(key);
+  sim.Run();
+  EXPECT_EQ(fleet.consistency().hints_pending(0), 6u);
+
+  fleet.RecoverStorageNode(0);
+  // Until catch-up drains, the node takes writes but serves no reads.
+  EXPECT_TRUE(fleet.router().IsWritable(fleet.storage_node_id(0)));
+  EXPECT_FALSE(fleet.IsStorageNodeReadable(0));
+  sim.Run();
+  EXPECT_TRUE(fleet.IsStorageNodeReadable(0));
+
+  const ConsistencyManager::Stats& stats = fleet.consistency().stats();
+  EXPECT_EQ(stats.hints_replayed, 6u);
+  EXPECT_EQ(stats.hint_bytes, 6u * 8192u);
+  EXPECT_EQ(stats.hint_overflow_fallbacks, 0u);
+  EXPECT_EQ(stats.catchup_write_failures, 0u);
+  EXPECT_EQ(fleet.consistency().hints_pending(0), 0u);
+
+  for (uint64_t key = 0; key < 6; ++key) client.IssueRead(key);
+  sim.Run();
+  EXPECT_EQ(client.stats().stale_reads, 0u);
+  EXPECT_EQ(client.stats().failed, 0u);
+}
+
+TEST(ConsistencyTest, HintOverflowFallsBackToVersionMapDiff) {
+  sim::Simulator sim;
+  FleetSpec spec = SmallFleetSpec(2, 1, 2);
+  spec.consistency.enabled = true;
+  spec.consistency.max_hints_per_node = 4;
+  Fleet fleet(&sim, spec);
+  WorkloadOptions wopts = SmallWorkload();
+  FleetClient client(&fleet, 0, wopts);
+
+  fleet.FailStorageNode(0, FailMode::kGraceful);
+  for (uint64_t key = 0; key < 10; ++key) client.IssueWrite(key);
+  sim.Run();
+  EXPECT_TRUE(fleet.consistency().hint_overflowed(0));
+
+  fleet.RecoverStorageNode(0);
+  sim.Run();
+  const ConsistencyManager::Stats& stats = fleet.consistency().stats();
+  EXPECT_EQ(stats.hint_overflow_fallbacks, 1u);
+  EXPECT_EQ(stats.hints_replayed, 0u)
+      << "an overflowed queue must be abandoned, not partially replayed";
+  EXPECT_EQ(stats.diff_blocks_copied, 10u);
+  EXPECT_EQ(stats.diff_bytes, 10u * uint64_t(wopts.request_bytes));
+  EXPECT_LT(stats.diff_bytes, fleet.spec().shard_bytes)
+      << "catch-up must move targeted blocks, not the whole shard";
+
+  for (uint64_t key = 0; key < 10; ++key) client.IssueRead(key);
+  sim.Run();
+  EXPECT_EQ(client.stats().stale_reads, 0u);
+  EXPECT_EQ(client.stats().failed, 0u);
+}
+
+TEST(ConsistencyTest, RecoverWhileWritingStaysConsistent) {
+  sim::Simulator sim;
+  FleetSpec spec = SmallFleetSpec(3, 2, 2);
+  spec.consistency.enabled = true;
+  Fleet fleet(&sim, spec);
+  WorkloadOptions wopts = SmallWorkload();
+  wopts.read_fraction = 0.5;
+  FleetClient c0(&fleet, 0, wopts), c1(&fleet, 1, wopts);
+  ClosedLoopDriver driver({&c0, &c1}, 4, 400);
+
+  sim.ScheduleAt(200 * sim::kMicrosecond,
+                 [&] { fleet.FailStorageNode(1, FailMode::kGraceful); });
+  sim.ScheduleAt(1 * sim::kMillisecond,
+                 [&] { fleet.RecoverStorageNode(1); });
+  driver.Start();
+  sim.Run();
+
+  FleetWorkloadSummary summary = Summarize({&c0, &c1});
+  EXPECT_EQ(summary.totals.issued, 400u);
+  EXPECT_EQ(summary.totals.completed + summary.totals.failed, 400u)
+      << "every op must settle even when recovery races the workload";
+  EXPECT_EQ(summary.totals.stale_reads, 0u);
+  EXPECT_TRUE(fleet.IsStorageNodeReadable(1));
+
+  // Quiesced read-back of the whole keyspace: all content current.
+  for (uint64_t key = 0; key < wopts.keyspace; ++key) c0.IssueRead(key);
+  sim.Run();
+  EXPECT_EQ(Summarize({&c0, &c1}).totals.stale_reads, 0u);
+  EXPECT_EQ(Summarize({&c0, &c1}).totals.failed, 0u);
+}
+
+TEST(ConsistencyTest, OpenLoopFailRecoverStaleOnlyWithoutLayer) {
+  auto run = [](bool enabled) {
+    sim::Simulator sim;
+    FleetSpec spec = SmallFleetSpec(2, 2, 2);
+    spec.consistency.enabled = enabled;
+    Fleet fleet(&sim, spec);
+    WorkloadOptions wopts = SmallWorkload();
+    wopts.read_fraction = 0.5;
+    FleetClient c0(&fleet, 0, wopts), c1(&fleet, 1, wopts);
+    OpenLoopDriver driver({&c0, &c1}, 200e3, 11);
+
+    sim.ScheduleAt(1 * sim::kMillisecond,
+                   [&] { fleet.FailStorageNode(0, FailMode::kGraceful); });
+    sim.ScheduleAt(2 * sim::kMillisecond,
+                   [&] { fleet.RecoverStorageNode(0); });
+    driver.Run(4 * sim::kMillisecond);
+    sim.Run();
+
+    // Quiesced read-back over the keyspace makes staleness visible even
+    // if the tail of the window happened not to touch affected keys.
+    for (uint64_t key = 0; key < wopts.keyspace; ++key) c0.IssueRead(key);
+    sim.Run();
+    return Summarize({&c0, &c1}).totals.stale_reads;
+  };
+  EXPECT_GE(run(false), 1u);
+  EXPECT_EQ(run(true), 0u);
+}
+
+TEST(FleetTest, CloseCallbackResteersWithoutRetryTimeout) {
+  sim::Simulator sim;
+  FleetSpec spec = SmallFleetSpec(2, 1, 2);
+  constexpr sim::SimTime kCap = 2 * sim::kMillisecond;
+  spec.client_template.network.tcp_config.max_retransmit_time = kCap;
+  Fleet fleet(&sim, spec);
+  WorkloadOptions wopts = SmallWorkload();
+  wopts.retry_timeout = 0;  // recovery rides purely on the close callback
+  FleetClient client(&fleet, 0, wopts);
+
+  // Warm the connections (handshake + RTT estimate), then strand a
+  // burst against a node that goes dark before any of the new request
+  // segments reach it — they stay unacked, so the client's own
+  // retransmission cap fires the abort. (An idle connection whose
+  // requests were already acked has nothing to retransmit and would
+  // never abort; stranding unacked sends is the case this path covers.)
+  for (int i = 0; i < 8; ++i) client.IssueOne();
+  sim.Run();
+  for (int i = 0; i < 40; ++i) client.IssueOne();
+  fleet.FailStorageNode(0, FailMode::kHard);
+  sim.RunFor(100 * sim::kMillisecond);
+
+  EXPECT_EQ(client.stats().issued, 48u);
+  EXPECT_EQ(client.stats().completed, 48u)
+      << "aborted requests must re-steer to the replica";
+  EXPECT_EQ(client.stats().failed, 0u);
+  EXPECT_GT(client.stats().resteered, 0u);
+  // Failover latency is bounded by the abort cap (plus one RTO of stall
+  // detection and the re-steered read), not by an application timeout —
+  // with timeouts off, the old behavior stranded these ops for the
+  // default 10 s cap.
+  EXPECT_LE(client.latency_ns().max(),
+            uint64_t(kCap) + uint64_t(sim::kMillisecond));
+}
+
+TEST(FleetTest, GracefulDrainCompletesTrackedInflightRpcs) {
+  sim::Simulator sim;
+  Fleet fleet(&sim, SmallFleetSpec(2, 1, 2));
+  FleetClient client(&fleet, 0, SmallWorkload());
+
+  for (int i = 0; i < 16; ++i) client.IssueOne();
+  EXPECT_EQ(fleet.inflight_rpcs(0) + fleet.inflight_rpcs(1), 16u)
+      << "issued RPCs must be tracked per node";
+  fleet.FailStorageNode(0, FailMode::kGraceful);
+  sim.Run();
+  EXPECT_EQ(fleet.inflight_rpcs(0), 0u)
+      << "graceful drain must complete every tracked in-flight RPC";
+  EXPECT_EQ(fleet.inflight_rpcs(1), 0u);
+  EXPECT_EQ(client.stats().completed, 16u);
+  EXPECT_EQ(client.stats().failed, 0u);
+}
+
+TEST(FleetTest, WriteTimeoutsSettleEveryFanout) {
+  sim::Simulator sim;
+  FleetSpec spec = SmallFleetSpec(2, 1, 2);
+  spec.client_template.network.tcp_config.max_retransmit_time =
+      2 * sim::kMillisecond;
+  Fleet fleet(&sim, spec);
+  WorkloadOptions wopts = SmallWorkload();
+  wopts.read_fraction = 0.0;
+  wopts.retry_timeout = 500 * sim::kMicrosecond;
+  wopts.max_attempts = 2;
+  FleetClient client(&fleet, 0, wopts);
+
+  client.IssueWrite(0);  // warm the connections
+  sim.Run();
+  for (int i = 0; i < 20; ++i) client.IssueOne();
+  sim.Schedule(5 * sim::kMicrosecond,
+               [&] { fleet.FailStorageNode(0, FailMode::kHard); });
+  sim.RunFor(100 * sim::kMillisecond);
+
+  // The bug: fan-out writes had no timeout or generation guard, so a
+  // dark replica stranded write_pending forever. Every op must settle.
+  EXPECT_EQ(client.stats().issued, 21u);
+  EXPECT_EQ(client.stats().completed + client.stats().failed, 21u);
+  EXPECT_GT(client.stats().write_giveups, 0u);
+  EXPECT_EQ(fleet.inflight_rpcs(0) + fleet.inflight_rpcs(1), 0u)
+      << "aborted RPCs must be accounted done";
 }
 
 }  // namespace
