@@ -23,6 +23,7 @@
 #include "cluster/fleet.h"
 #include "cluster/workload.h"
 #include "core/runtime/metrics.h"
+#include "sim/simrace.h"
 
 using namespace dpdpu;  // NOLINT: bench brevity
 
@@ -42,6 +43,7 @@ struct ConsistencyPoint {
   uint64_t hints_replayed = 0;
   uint64_t diff_blocks = 0;
   sim::SimTime end_time = 0;
+  uint64_t races = 0;
 };
 
 // Open-loop mixed workload; storage server 0 fails gracefully at 1 ms
@@ -49,6 +51,9 @@ struct ConsistencyPoint {
 // reads back the whole keyspace after the fleet quiesces.
 ConsistencyPoint RunConsistency(bool enabled, uint64_t seed) {
   sim::Simulator sim;
+  // Non-fatal simrace pass: observation-only, so every simulated series
+  // below stays bit-identical to BASELINE.json with checking on.
+  sim::RaceChecker& race = sim.EnableRaceCheck();
   cluster::FleetSpec spec;
   spec.storage_servers = 3;
   spec.clients = 4;
@@ -101,6 +106,8 @@ ConsistencyPoint RunConsistency(bool enabled, uint64_t seed) {
   point.hints_replayed = cstats.hints_replayed;
   point.diff_blocks = cstats.diff_blocks_copied;
   point.end_time = sim.now();
+  sim.FinishRaceCheck();
+  point.races = race.race_count();
   return point;
 }
 
@@ -110,6 +117,7 @@ struct FailoverPoint {
   uint64_t failed = 0;
   uint64_t resteered = 0;
   uint64_t max_latency_ns = 0;
+  uint64_t races = 0;
 };
 
 // A warmed client strands a burst of reads against a storage node that
@@ -119,6 +127,7 @@ struct FailoverPoint {
 // (default cap) and the 5 ms workload retry_timeout does the re-steer.
 FailoverPoint RunFailover(bool close_callback, uint64_t seed) {
   sim::Simulator sim;
+  sim::RaceChecker& race = sim.EnableRaceCheck();
   cluster::FleetSpec spec;
   spec.storage_servers = 2;
   spec.clients = 1;
@@ -150,6 +159,8 @@ FailoverPoint RunFailover(bool close_callback, uint64_t seed) {
   point.failed = client.stats().failed;
   point.resteered = client.stats().resteered;
   point.max_latency_ns = client.latency_ns().max();
+  sim.FinishRaceCheck();
+  point.races = race.race_count();
   return point;
 }
 
@@ -221,13 +232,22 @@ int main() {
   rt::EmitJsonMetric("fleet_consistency", "deterministic",
                      deterministic ? 1 : 0, "bool", kSeed);
 
+  // Every simulator above ran under the happens-before checker; the
+  // bench is only healthy if the whole suite is race-clean.
+  uint64_t races = off.races + on.races + replay.races + via_close.races +
+                   via_timeout.races;
+  rt::EmitJsonMetric("fleet_consistency", "race_check_enabled", 1, "bool",
+                     kSeed);
+  rt::EmitJsonMetric("fleet_consistency", "race_check_races",
+                     double(races), "races", kSeed);
+
   bool ok = off.stale_reads >= 1 && on.stale_reads == 0 &&
             on.catchup_bytes > 0 && catchup_ratio < 1.0 &&
             via_close.completed == via_close.issued &&
             via_timeout.completed == via_timeout.issued &&
             via_close.max_latency_ns <
                 via_timeout.max_latency_ns &&
-            deterministic;
+            deterministic && races == 0;
   rt::EmitWallClockMetrics("fleet_consistency", wall_timer,
                            sim::Simulator::TotalEventsExecuted(), kSeed);
   return ok ? 0 : 1;

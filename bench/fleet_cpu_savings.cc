@@ -13,6 +13,7 @@
 #include "cluster/fleet.h"
 #include "cluster/workload.h"
 #include "core/runtime/metrics.h"
+#include "sim/simrace.h"
 
 using namespace dpdpu;  // NOLINT: bench brevity
 
@@ -33,6 +34,7 @@ struct FleetPoint {
   uint64_t p99_ns = 0;
   sim::SimTime end_time = 0;
   uint64_t routed_to_failed_after_failure = 0;
+  uint64_t races = 0;
 };
 
 // Runs an open-loop read fleet; fail_index >= 0 gracefully fails that
@@ -41,6 +43,9 @@ FleetPoint RunFleet(uint32_t n_storage, uint32_t n_clients,
                     double offload_fraction, uint64_t seed,
                     int fail_index = -1) {
   sim::Simulator sim;
+  // Non-fatal simrace pass: observation-only, so every simulated series
+  // below stays bit-identical to BASELINE.json with checking on.
+  sim::RaceChecker& race = sim.EnableRaceCheck();
   cluster::FleetSpec spec;
   spec.storage_servers = n_storage;
   spec.clients = n_clients;
@@ -106,6 +111,8 @@ FleetPoint RunFleet(uint32_t n_storage, uint32_t n_clients,
     point.routed_to_failed_after_failure =
         total - routed_to_failed_at_failure;
   }
+  sim.FinishRaceCheck();
+  point.races = race.race_count();
   return point;
 }
 
@@ -192,7 +199,18 @@ int main() {
   rt::EmitJsonMetric("fleet_cpu_savings", "deterministic",
                      deterministic ? 1 : 0, "bool", kSeed);
 
-  bool ok = std::fabs(ratio - 1.0) <= 0.15 && deterministic && no_loss;
+  // Every simulator above ran under the happens-before checker; the
+  // bench is only healthy if the whole suite is race-clean.
+  uint64_t races = single_base.races + single_dds.races +
+                   fleet_base.races + fleet_dds.races + replay.races +
+                   failure.races;
+  rt::EmitJsonMetric("fleet_cpu_savings", "race_check_enabled", 1, "bool",
+                     kSeed);
+  rt::EmitJsonMetric("fleet_cpu_savings", "race_check_races",
+                     double(races), "races", kSeed);
+
+  bool ok = std::fabs(ratio - 1.0) <= 0.15 && deterministic && no_loss &&
+            races == 0;
   rt::EmitWallClockMetrics("fleet_cpu_savings", wall_timer,
                            sim::Simulator::TotalEventsExecuted(), kSeed);
   return ok ? 0 : 1;

@@ -21,6 +21,12 @@ ConsistencyManager::ConsistencyManager(Fleet* fleet,
 
 uint64_t ConsistencyManager::NextVersion(uint64_t offset, uint64_t key,
                                          uint32_t length) {
+  // A plain write: which of two same-timestamp coordinators draws the
+  // higher version decides whose payload wins, so unordered draws on
+  // one block are a genuine race.
+  DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                   sim::RaceKey(kRaceSaltNextVersion, offset),
+                   sim::AccessKind::kWrite);
   AuthorityEntry& entry = authority_[offset];
   entry.key = key;
   entry.length = length;
@@ -29,11 +35,17 @@ uint64_t ConsistencyManager::NextVersion(uint64_t offset, uint64_t key,
 }
 
 void ConsistencyManager::Commit(uint64_t offset, uint64_t version) {
+  DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                   sim::RaceKey(kRaceSaltCommitted, offset),
+                   sim::AccessKind::kCommutativeWrite);
   AuthorityEntry& entry = authority_[offset];
   entry.committed = std::max(entry.committed, version);
 }
 
 uint64_t ConsistencyManager::CommittedVersion(uint64_t offset) const {
+  DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                   sim::RaceKey(kRaceSaltCommitted, offset),
+                   sim::AccessKind::kRead);
   auto it = authority_.find(offset);
   return it == authority_.end() ? 0 : it->second.committed;
 }
@@ -44,6 +56,9 @@ uint64_t ConsistencyManager::CommittedVersion(uint64_t offset) const {
 
 void ConsistencyManager::QueueHint(uint32_t node_index, uint64_t offset,
                                    uint64_t version, Buffer data) {
+  DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                   sim::RaceKey(kRaceSaltHints, node_index),
+                   sim::AccessKind::kWrite);
   std::deque<Hint>& queue = hints_[node_index];
   // Coalesce per block: only the newest version matters for replay, so
   // a re-written block updates its hint in place. This bounds the queue
@@ -82,10 +97,16 @@ bool ConsistencyManager::hint_overflowed(uint32_t node_index) const {
 // ---------------------------------------------------------------------------
 
 bool ConsistencyManager::BeginRepair(uint32_t node_index, uint64_t offset) {
+  DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                   sim::RaceKey(kRaceSaltRepairs, sim::RaceKey(node_index, offset)),
+                   sim::AccessKind::kWrite);
   return active_repairs_.insert({node_index, offset}).second;
 }
 
 void ConsistencyManager::EndRepair(uint32_t node_index, uint64_t offset) {
+  DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                   sim::RaceKey(kRaceSaltRepairs, sim::RaceKey(node_index, offset)),
+                   sim::AccessKind::kWrite);
   active_repairs_.erase({node_index, offset});
 }
 

@@ -37,6 +37,7 @@
 #include <utility>
 
 #include "common/buffer.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::cluster {
 
@@ -123,6 +124,14 @@ class ConsistencyManager {
     Buffer data;
   };
 
+  /// simrace sub-key salts (domain separation inside one authority tag):
+  /// per-block version draws, per-block committed record, per-node hint
+  /// queues, per-(node, block) repair claims.
+  static constexpr uint64_t kRaceSaltNextVersion = 0x10;
+  static constexpr uint64_t kRaceSaltCommitted = 0x11;
+  static constexpr uint64_t kRaceSaltHints = 0x20;
+  static constexpr uint64_t kRaceSaltRepairs = 0x30;
+
   Fleet* fleet_;
   ConsistencyOptions options_;
   /// Keyed by shard offset (block id); std::map so the catch-up diff
@@ -132,6 +141,7 @@ class ConsistencyManager {
   std::set<uint32_t> overflowed_;
   std::set<std::pair<uint32_t, uint64_t>> active_repairs_;
   Stats stats_;
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::cluster

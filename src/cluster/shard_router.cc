@@ -65,6 +65,13 @@ std::optional<netsub::NodeId> ShardRouter::Route(uint64_t key_hash) {
 
 std::optional<netsub::NodeId> ShardRouter::Route(
     uint64_t key_hash, const std::vector<netsub::NodeId>& exclude) {
+  // A routing decision reads liveness (it races a same-timestamp
+  // MarkDown/MarkUp) and bumps a counter (commutative: two unordered
+  // Route calls commute, but either races a routed() observation).
+  DPDPU_SIM_ACCESS(race_tag_, "ShardRouter", kRaceKeyLiveness,
+                   sim::AccessKind::kRead);
+  DPDPU_SIM_ACCESS(race_tag_, "ShardRouter", kRaceKeyCounters,
+                   sim::AccessKind::kCommutativeWrite);
   for (netsub::NodeId server : PreferenceList(key_hash)) {
     if (!IsReadable(server)) continue;
     if (std::find(exclude.begin(), exclude.end(), server) !=
@@ -78,16 +85,22 @@ std::optional<netsub::NodeId> ShardRouter::Route(
 }
 
 void ShardRouter::MarkDown(netsub::NodeId server) {
+  DPDPU_SIM_ACCESS(race_tag_, "ShardRouter", kRaceKeyLiveness,
+                   sim::AccessKind::kWrite);
   down_.insert(server);
   write_only_.erase(server);
 }
 
 void ShardRouter::MarkUp(netsub::NodeId server) {
+  DPDPU_SIM_ACCESS(race_tag_, "ShardRouter", kRaceKeyLiveness,
+                   sim::AccessKind::kWrite);
   down_.erase(server);
   write_only_.erase(server);
 }
 
 void ShardRouter::MarkWriteOnly(netsub::NodeId server) {
+  DPDPU_SIM_ACCESS(race_tag_, "ShardRouter", kRaceKeyLiveness,
+                   sim::AccessKind::kWrite);
   down_.erase(server);
   write_only_.insert(server);
 }

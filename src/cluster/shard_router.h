@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "netsub/network.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::cluster {
 
@@ -73,10 +74,17 @@ class ShardRouter {
 
   /// Requests routed to each server (load-imbalance studies).
   const std::map<netsub::NodeId, uint64_t>& routed() const {
+    DPDPU_SIM_ACCESS(race_tag_, "ShardRouter", kRaceKeyCounters,
+                     sim::AccessKind::kRead);
     return routed_;
   }
 
  private:
+  /// simrace sub-keys: liveness (down/write-only sets — reads by Route,
+  /// writes by Mark*) vs. routed counters (commutative bumps by Route,
+  /// reads by routed()).
+  static constexpr uint64_t kRaceKeyLiveness = 0;
+  static constexpr uint64_t kRaceKeyCounters = 1;
   struct Point {
     uint64_t hash;
     netsub::NodeId server;
@@ -91,6 +99,7 @@ class ShardRouter {
   std::set<netsub::NodeId> down_;
   std::set<netsub::NodeId> write_only_;
   std::map<netsub::NodeId, uint64_t> routed_;
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::cluster

@@ -168,6 +168,9 @@ void FleetClient::AttemptRead(std::shared_ptr<Op> op) {
         op->flags);
   }
   if (options_.retry_timeout > 0) {
+    // Clients live until the fleet run drains; the shared op +
+    // generation guard makes a late timer a no-op.
+    // simlint:allow(R6): fleet-owned client, generation-guarded timer
     fleet_->simulator()->Schedule(
         options_.retry_timeout, [this, op, generation] {
           if (op->done || generation != op->generation) return;
@@ -351,6 +354,9 @@ void FleetClient::AttemptWriteSub(std::shared_ptr<Op> op,
                              op->flags);
   }
   if (options_.retry_timeout > 0) {
+    // Clients live until the fleet run drains; the shared op +
+    // generation guard makes a late timer a no-op.
+    // simlint:allow(R6): fleet-owned client, generation-guarded timer
     fleet_->simulator()->Schedule(
         options_.retry_timeout, [this, op, sub_index, generation] {
           Op::WriteSub& sub = op->subs[sub_index];
@@ -434,6 +440,7 @@ void OpenLoopDriver::Run(sim::SimTime window) {
   double t = rng_.NextExponential(mean_gap_ns);
   while (t < double(window)) {
     uint32_t idx = rng_.NextBounded(uint32_t(clients_.size()));
+    // simlint:allow(R6): the driver outlives the run it pre-schedules
     sim->ScheduleAt(sim->now() + sim::SimTime(t), [this, idx] {
       ++issued_;
       clients_[idx]->IssueOne([this] { ++completed_; });

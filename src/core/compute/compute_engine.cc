@@ -373,6 +373,9 @@ Status ComputeEngine::InvokeSproc(const std::string& name) {
       server_->dpu_cpu().resource().queue_length() >
           options_.sproc_migration_queue_threshold) {
     ++sprocs_migrated_;
+    // The engine and its sproc table belong to the server, which
+    // outlives the run; sprocs never unregister mid-run.
+    // simlint:allow(R6): engine outlives the drained event heap
     server_->simulator()->Schedule(
         server_->pcie().spec().latency_ns, [this, fn = &it->second] {
           server_->host_cpu().Execute(

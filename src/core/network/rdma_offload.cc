@@ -63,6 +63,7 @@ void OffloadedRdmaEndpoint::SubmitThroughRing(UniqueFunction post) {
   // DPU DMA engine polls the ring: one PCIe crossing to see the entry,
   // then a DPU core builds and issues the wire op.
   sim::Simulator* sim = server_->simulator();
+  // simlint:allow(R6): endpoint outlives the drained event heap
   sim->Schedule(server_->pcie().spec().latency_ns,
                 [this, post = std::move(post)]() mutable {
                   server_->dpu_cpu().Execute(cal::kRdmaDpuIssueCycles,
@@ -127,6 +128,7 @@ void OffloadedRdmaEndpoint::DrainDeviceCompletions() {
   // crossing; the entry is then reaped by the host poll loop.
   netsub::RdmaCompletion c;
   while (qp_->cq().Poll(&c)) {
+    // simlint:allow(R6): endpoint outlives the drained event heap
     server_->simulator()->Schedule(server_->pcie().spec().latency_ns,
                                    [this, c] {
                                      host_completions_.push_back(c);

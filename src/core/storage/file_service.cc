@@ -43,7 +43,10 @@ void FileService::CreateAsync(
     std::function<void(Result<fssub::FileId>)> cb) {
   server_->dpu_cpu().Execute(
       cal::kSpdkCyclesPerIo,
-      [this, name, cb = std::move(cb)] { cb(fs_->Create(name)); });
+      [this, name, cb = std::move(cb)] {
+        reactor_.Step();
+        cb(fs_->Create(name));
+      });
 }
 
 bool FileService::TryServeFromCache(fssub::FileId file, uint64_t offset,
@@ -104,6 +107,7 @@ void FileService::ReadAsync(fssub::FileId file, uint64_t offset,
   server_->dpu_cpu().Execute(
       cal::kSpdkCyclesPerIo,
       [this, file, offset, length, cb = std::move(cb)]() mutable {
+        reactor_.Step();
         Buffer cached;
         if (length > 0 && TryServeFromCache(file, offset, length, &cached)) {
           ++stats_.cache_hit_reads;
@@ -126,6 +130,7 @@ void FileService::ReadAsync(fssub::FileId file, uint64_t offset,
                   aligned_len,
                   [this, file, offset, length, aligned_off,
                    cb = std::move(cb)] {
+                    reactor_.Step();
                     uint32_t aligned_len_again = static_cast<uint32_t>(
                         (offset + length + kCachePageBytes - 1) /
                             kCachePageBytes * kCachePageBytes -
@@ -160,6 +165,7 @@ void FileService::WriteAsync(fssub::FileId file, uint64_t offset,
       cal::kSpdkCyclesPerIo,
       [this, file, offset, data = std::move(data), mode,
        cb = std::move(cb)]() mutable {
+        reactor_.Step();
         InvalidateRange(file, offset, data.size());
         size_t bytes = data.size();
         hw::SsdDevice* log = server_->dpu_log_device();
@@ -170,10 +176,12 @@ void FileService::WriteAsync(fssub::FileId file, uint64_t offset,
           log->SubmitWrite(
               bytes, [this, file, offset, data = std::move(data),
                       cb = std::move(cb)]() mutable {
+                reactor_.Step();
                 cb(Status::Ok());
                 server_->ssd().SubmitWrite(
                     data.size(),
                     [this, file, offset, data = std::move(data)] {
+                      reactor_.Step();
                       InvalidateRange(file, offset, data.size());
                       Status s = fs_->Write(file, offset, data.span());
                       if (!s.ok()) {
@@ -187,6 +195,7 @@ void FileService::WriteAsync(fssub::FileId file, uint64_t offset,
         server_->ssd().SubmitWrite(
             bytes, [this, file, offset, data = std::move(data),
                     cb = std::move(cb)] {
+              reactor_.Step();
               // Invalidate again at completion: a read that raced this
               // write through the SSD queue may have re-populated the
               // cache with the pre-write block after the submit-time

@@ -17,6 +17,7 @@
 #include "fssub/dpufs.h"
 #include "fssub/page_cache.h"
 #include "hw/machine.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::se {
 
@@ -85,6 +86,11 @@ class FileService {
   std::unique_ptr<fssub::PageCache> cache_;
   uint64_t cache_reservation_ = 0;
   FileServiceStats stats_;
+  /// All FileService work — request dispatch and SSD/DMA completion
+  /// callbacks — runs on one SPDK reactor thread, which serializes it.
+  /// Each such event steps this chain so same-timestamp cache accesses
+  /// are reactor-ordered, not racing (see DESIGN.md §7).
+  sim::HbChain reactor_;
 };
 
 }  // namespace dpdpu::se

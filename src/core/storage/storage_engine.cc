@@ -104,6 +104,8 @@ Result<RemoteResponse> ParseRemoteResponse(ByteSpan payload) {
 
 bool VersionMap::Admit(fssub::FileId file, uint64_t offset, uint32_t length,
                        uint64_t version) {
+  DPDPU_SIM_ACCESS(race_tag_, "se::VersionMap", sim::RaceKey(file, offset),
+                   sim::AccessKind::kCommutativeWrite);
   Entry& entry = entries_[Key{file, offset}];
   if (version < entry.pending) return false;
   entry.pending = version;
@@ -113,11 +115,15 @@ bool VersionMap::Admit(fssub::FileId file, uint64_t offset, uint32_t length,
 
 void VersionMap::MarkDurable(fssub::FileId file, uint64_t offset,
                              uint64_t version) {
+  DPDPU_SIM_ACCESS(race_tag_, "se::VersionMap", sim::RaceKey(file, offset),
+                   sim::AccessKind::kCommutativeWrite);
   Entry& entry = entries_[Key{file, offset}];
   entry.version = std::max(entry.version, version);
 }
 
 uint64_t VersionMap::Lookup(fssub::FileId file, uint64_t offset) const {
+  DPDPU_SIM_ACCESS(race_tag_, "se::VersionMap", sim::RaceKey(file, offset),
+                   sim::AccessKind::kRead);
   auto it = entries_.find(Key{file, offset});
   return it == entries_.end() ? 0 : it->second.version;
 }
@@ -498,6 +504,10 @@ RemoteStorageClient::RemoteStorageClient(ne::NetworkEngine* network,
     // Fail pendings from a fresh event so callers may destroy this
     // client from inside the failure callbacks (the connection's close
     // callback is still on the stack here).
+    // The alive token guards `this`; zero delay is the point (callers
+    // may destroy the client from inside the failure callbacks) and the
+    // parent edge keeps the deferred event causally ordered.
+    // simlint:allow(R6): alive-token-guarded, parent-edge-ordered defer
     sim_->Schedule(0, [this, alive] {
       if (*alive) FailAllPending();
     });
@@ -529,6 +539,10 @@ void RemoteStorageClient::SendRequest(RemoteRequest request) {
     // The connection is gone; fail this request from a fresh event the
     // same way the close path fails in-flight ones.
     uint64_t tag = request.tag;
+    // The alive token guards `this`; zero delay is the point (fail from
+    // a fresh event, like the close path) and the parent edge keeps the
+    // deferred event causally ordered.
+    // simlint:allow(R6): alive-token-guarded, parent-edge-ordered defer
     sim_->Schedule(0, [this, alive = alive_, tag] {
       if (!*alive) return;
       auto it = pending_.find(tag);

@@ -26,6 +26,7 @@
 #include "common/buffer.h"
 #include "common/result.h"
 #include "core/network/network_engine.h"
+#include "sim/simrace.h"
 #include "core/storage/file_service.h"
 #include "fssub/dpufs.h"
 #include "hw/machine.h"
@@ -123,6 +124,10 @@ class VersionMap {
 
  private:
   std::map<Key, Entry> entries_;
+  /// simrace identity, keyed per (file, offset). Admit/MarkDurable are
+  /// commutative by construction (watermark and max are order-free), so
+  /// only a read racing them — the commit-before-durable shape — flags.
+  sim::RaceTag race_tag_;
 };
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,8 @@
 namespace dpdpu::fssub {
 
 const Buffer* PageCache::Get(const PageKey& key) {
+  DPDPU_SIM_ACCESS(race_tag_, "PageCache", sim::RaceKey(key.file, key.page),
+                   sim::AccessKind::kRead);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -42,6 +44,8 @@ void PageCache::EvictOne() {
 }
 
 void PageCache::Put(const PageKey& key, Buffer page) {
+  DPDPU_SIM_ACCESS(race_tag_, "PageCache", sim::RaceKey(key.file, key.page),
+                   sim::AccessKind::kWrite);
   if (page.size() > capacity_) return;  // cannot fit (incl. capacity 0)
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -64,6 +68,8 @@ void PageCache::Put(const PageKey& key, Buffer page) {
 }
 
 void PageCache::Erase(const PageKey& key) {
+  DPDPU_SIM_ACCESS(race_tag_, "PageCache", sim::RaceKey(key.file, key.page),
+                   sim::AccessKind::kWrite);
   auto it = index_.find(key);
   if (it == index_.end()) return;
   size_t pos = it->second;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/buffer.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::fssub {
 
@@ -101,6 +102,10 @@ class PageCache {
   size_t hand_ = 0;
   std::unordered_map<PageKey, size_t, PageKeyHash> index_;
   PageCacheStats stats_;
+  /// simrace identity, keyed per (file, page): a same-timestamp unordered
+  /// Get racing a Put/Erase of the same page is exactly the PR-4
+  /// cache-coherence bug shape.
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::fssub

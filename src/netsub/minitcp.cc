@@ -65,6 +65,13 @@ TcpConnection::TcpConnection(TcpStack* stack, NodeId remote_node,
 }
 
 void TcpConnection::Send(ByteSpan data) {
+  // Commutative: the connection is a message-processing state machine —
+  // app writes and segment arrivals interleaving in either order at one
+  // timestamp yield protocol-equivalent streams (the byte sequence and
+  // cumulative-ACK invariants are order-free). Only Abort() is a plain
+  // write: its relative order decides whether buffered bytes are lost.
+  DPDPU_SIM_ACCESS(race_tag_, "TcpConnection", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   if (state_ == State::kClosed) return;  // aborted/closed: drop writes
   send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
   write_seq_ += data.size();
@@ -72,6 +79,8 @@ void TcpConnection::Send(ByteSpan data) {
 }
 
 void TcpConnection::Close() {
+  DPDPU_SIM_ACCESS(race_tag_, "TcpConnection", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   fin_queued_ = true;
   if (state_ == State::kEstablished) Pump();
 }
@@ -148,11 +157,16 @@ void TcpConnection::ArmRtoTimer() {
     sim::SimTime now = stack_->simulator()->now();
     delay = std::min(delay, deadline > now ? deadline - now : 1);
   }
+  // Connections are owned by the stack's map for the stack's lifetime
+  // (never erased); the generation guard voids stale timers.
+  // simlint:allow(R6): stack-owned connection, generation-guarded timer
   stack_->simulator()->Schedule(delay,
                                 [this, generation] { OnRtoFire(generation); });
 }
 
 void TcpConnection::Abort() {
+  DPDPU_SIM_ACCESS(race_tag_, "TcpConnection", /*key=*/0,
+                   sim::AccessKind::kWrite);
   if (state_ == State::kClosed) return;
   state_ = State::kClosed;
   ++stats_.aborts;
@@ -297,11 +311,16 @@ void TcpConnection::DeliverInOrder() {
     progressed = false;
     for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
       uint64_t seq = it->first;
-      const Buffer& data = it->second;
+      const Buffer& data = it->second.data;
       if (seq + data.size() <= rcv_nxt_) {
         it = out_of_order_.erase(it);  // fully duplicate
         progressed = true;
       } else if (seq <= rcv_nxt_) {
+        // Buffer-before-deliver: the event that stashed this segment
+        // happens before this delivering event.
+        if (sim::RaceChecker* rc = sim::RaceChecker::Current()) {
+          rc->Consume(it->second.buffered);
+        }
         size_t skip = static_cast<size_t>(rcv_nxt_ - seq);
         ByteSpan fresh = data.span().subspan(skip);
         rcv_nxt_ += fresh.size();
@@ -323,6 +342,8 @@ void TcpConnection::DeliverInOrder() {
 
 void TcpConnection::OnSegment(uint64_t seq, uint64_t ack, uint8_t flags,
                               uint32_t wnd, ByteSpan payload) {
+  DPDPU_SIM_ACCESS(race_tag_, "TcpConnection", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   ++stats_.segments_received;
 
   // Handshake transitions.
@@ -374,7 +395,12 @@ void TcpConnection::OnSegment(uint64_t seq, uint64_t ack, uint8_t flags,
         if (on_receive_) on_receive_(fresh);
         DeliverInOrder();
       } else {
-        out_of_order_.emplace(seq, Buffer(payload.data(), payload.size()));
+        sim::HbToken buffered;
+        if (sim::RaceChecker* rc = sim::RaceChecker::Current()) {
+          buffered = rc->Publish();
+        }
+        out_of_order_.emplace(
+            seq, OooSegment{Buffer(payload.data(), payload.size()), buffered});
       }
     }
     advanced = true;

@@ -153,9 +153,16 @@ class TcpConnection {
   sim::SimTime timed_sent_at_ = 0;
   bool timing_ = false;
 
-  // Receive side.
+  // Receive side. Out-of-order segments remember the event that
+  // buffered them (simrace: buffer-before-deliver edge — the segment is
+  // stashed by one OnSegment event and handed to the application by a
+  // later one, which must be causally after it).
+  struct OooSegment {
+    Buffer data;
+    sim::HbToken buffered;
+  };
   uint64_t rcv_nxt_ = 0;
-  std::map<uint64_t, Buffer> out_of_order_;
+  std::map<uint64_t, OooSegment> out_of_order_;
   uint32_t rwnd_advertised_;
   bool peer_fin_received_ = false;
   uint64_t peer_fin_seq_ = 0;
@@ -163,6 +170,14 @@ class TcpConnection {
   ReceiveCallback on_receive_;
   CloseCallback on_close_;
   TcpStats stats_;
+  /// simrace identity: all connection state (sequence space, congestion
+  /// window, receive reassembly) is one object. The connection is a
+  /// message-processing state machine: Send/Close/OnSegment interleaving
+  /// in either order at one timestamp are all legal protocol schedules
+  /// producing the same byte stream, so those are commutative writes.
+  /// Abort() is a plain write — its order against a same-time Send
+  /// decides whether buffered data is silently dropped.
+  sim::RaceTag race_tag_;
 };
 
 /// Per-node TCP endpoint: demultiplexes connections, owns their memory.

@@ -47,6 +47,10 @@ void Network::Send(Packet packet) {
         ++delivered_;
         bytes_delivered_ += wire;
         it->second.rx_bytes += wire;
+        if (sim::RaceChecker::Current() != nullptr) {
+          uint64_t link = (uint64_t(packet.src) << 32) | packet.dst;
+          link_chains_[link].Step();
+        }
         it->second.handler(std::move(packet));
       });
 }

@@ -89,6 +89,11 @@ class Network {
   sim::Simulator* sim_;
   std::map<NodeId, Endpoint> endpoints_;
   std::map<NodeId, bool> down_;  // presence = down
+  /// simrace: frames on one (src,dst) link deliver in serialization
+  /// order; the chain turns that guarantee into happens-before edges
+  /// between consecutive delivery events. Keyed (src<<32)|dst; only
+  /// populated while a race checker is active.
+  std::map<uint64_t, sim::HbChain> link_chains_;
   double loss_rate_ = 0.0;
   Pcg32 loss_rng_;
   uint64_t delivered_ = 0;

@@ -18,13 +18,41 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::netsub {
+
+/// simrace hook: a ring hands data from the event that pushed it to the
+/// event that pops it, so each successful push publishes a token the
+/// matching pop consumes (publish-before-consume edge in the causal
+/// DAG). Entirely inert unless a RaceChecker is Current(), i.e. a
+/// single-threaded simulator event is executing — real-thread ring
+/// users (tests/netsub_test.cc, micro_kernels) always observe nullptr
+/// and never touch the queue, so the rings stay genuinely lock-free.
+class RingHb {
+ public:
+  void OnPush() {
+    if (sim::RaceChecker* rc = sim::RaceChecker::Current()) {
+      tokens_.push_back(rc->Publish());
+    }
+  }
+  void OnPop() {
+    sim::RaceChecker* rc = sim::RaceChecker::Current();
+    if (rc != nullptr && !tokens_.empty()) {
+      rc->Consume(tokens_.front());
+      tokens_.pop_front();
+    }
+  }
+
+ private:
+  std::deque<sim::HbToken> tokens_;
+};
 
 /// Wait-free single-producer/single-consumer bounded queue.
 /// Capacity must be a power of two.
@@ -48,6 +76,7 @@ class SpscRing {
     if (head - tail >= capacity_) return false;
     slots_[head & mask_] = std::move(value);
     head_.store(head + 1, std::memory_order_release);
+    hb_.OnPush();
     return true;
   }
 
@@ -58,6 +87,7 @@ class SpscRing {
     if (tail == head) return false;
     *out = std::move(slots_[tail & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
+    hb_.OnPop();
     return true;
   }
 
@@ -75,6 +105,7 @@ class SpscRing {
   const size_t capacity_;
   const size_t mask_;
   std::vector<T> slots_;
+  RingHb hb_;
   alignas(64) std::atomic<size_t> head_{0};  // producer cursor
   alignas(64) std::atomic<size_t> tail_{0};  // consumer cursor
 };
@@ -109,6 +140,7 @@ class MpmcRing {
                                            std::memory_order_relaxed)) {
           slot.value = std::move(value);
           slot.seq.store(pos + 1, std::memory_order_release);
+          hb_.OnPush();
           return true;
         }
       } else if (diff < 0) {
@@ -130,6 +162,7 @@ class MpmcRing {
                                            std::memory_order_relaxed)) {
           *out = std::move(slot.value);
           slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          hb_.OnPop();
           return true;
         }
       } else if (diff < 0) {
@@ -154,6 +187,7 @@ class MpmcRing {
 
   const size_t mask_;
   std::vector<Slot> slots_;
+  RingHb hb_;
   alignas(64) std::atomic<size_t> enqueue_{0};
   alignas(64) std::atomic<size_t> dequeue_{0};
 };

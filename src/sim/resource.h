@@ -62,8 +62,13 @@ class Resource {
     if (busy_ < capacity_) {
       StartJob(service_time, std::move(on_complete), /*waited=*/0);
     } else {
+      // Queued jobs carry the submitting event's identity so the later
+      // grant (StartJob from FinishJob) is causally ordered after the
+      // submission — the FIFO-grant happens-before edge for simrace.
+      HbToken token;
+      if (RaceChecker* rc = RaceChecker::Current()) token = rc->Publish();
       queue_.push_back(Pending{service_time, std::move(on_complete),
-                               sim_->now()});
+                               sim_->now(), token});
     }
   }
 
@@ -77,6 +82,7 @@ class Resource {
     SimTime service_time;
     UniqueFunction on_complete;
     SimTime enqueue_time;
+    HbToken submit_token;  // submit happens-before grant
   };
 
   void StartJob(SimTime service_time, UniqueFunction on_complete,
@@ -84,6 +90,9 @@ class Resource {
     ++busy_;
     busy_time_ += service_time;
     wait_hist_.Add(waited);
+    // Resources are long-lived members of the hardware models; every
+    // model drains the simulator before destruction.
+    // simlint:allow(R6): Resource outlives the drained event heap
     sim_->Schedule(service_time,
                    [this, cb = std::move(on_complete)]() mutable {
                      FinishJob();
@@ -98,6 +107,7 @@ class Resource {
     if (!queue_.empty() && busy_ < capacity_) {
       Pending p = std::move(queue_.front());
       queue_.pop_front();
+      if (RaceChecker* rc = RaceChecker::Current()) rc->Consume(p.submit_token);
       StartJob(p.service_time, std::move(p.on_complete),
                sim_->now() - p.enqueue_time);
     }

@@ -2,8 +2,13 @@
 // repository — CPU cycles, ASIC jobs, NIC serialization, PCIe DMA, SSD
 // accesses — is expressed as events on this single virtual clock.
 //
-// Determinism contract: events are totally ordered by (time, insertion
-// sequence), so two runs with the same seed produce identical traces.
+// Determinism contract: events are totally ordered by (time, tie-break
+// key, insertion sequence), so two runs with the same seed and the same
+// tie-break policy produce identical traces. The default policy (FIFO
+// among equal timestamps) reduces to the historical (time, sequence)
+// order; LIFO and seeded-shuffle policies perturb only the order of
+// same-timestamp ties, which a correct model must be insensitive to —
+// simrace (simrace.h) detects the cases that are not.
 
 #ifndef DPDPU_SIM_SIMULATOR_H_
 #define DPDPU_SIM_SIMULATOR_H_
@@ -15,6 +20,7 @@
 
 #include "common/function.h"
 #include "common/logging.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::sim {
 
@@ -32,15 +38,40 @@ inline SimTime FromSeconds(double s) {
 }
 inline double ToSeconds(SimTime t) { return double(t) / double(kSecond); }
 
+/// How the scheduler orders events that share a timestamp. Every policy
+/// is deterministic; they differ only in which legal total order of the
+/// ties they pick, which is exactly the freedom simrace's perturbation
+/// oracle exercises.
+enum class TieBreak : uint8_t {
+  kFifo = 0,     // insertion order (the historical contract)
+  kLifo = 1,     // reverse insertion order
+  kShuffle = 2,  // seed-keyed pseudo-random order
+};
+
+/// SplitMix64 finalizer: cheap, high-quality mix for shuffle tie keys.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// Single-threaded event-driven simulator.
 class Simulator {
  public:
   // Pre-size the event heap: fleet-scale runs push thousands of events
-  // immediately, and growing a vector of 80-byte Events mid-run both
+  // immediately, and growing a vector of 96-byte Events mid-run both
   // reallocates and move-relocates every pending closure.
-  Simulator() { heap_.reserve(1024); }
+  Simulator() {
+    heap_.reserve(1024);
+    const EnvConfig& env = EnvConfig::Get();
+    tie_policy_ = static_cast<TieBreak>(env.tie_policy);
+    shuffle_seed_ = env.shuffle_seed;
+    if (env.race_check) EnableRaceCheck(env.race_options);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator() { FinishRaceCheck(); }
 
   SimTime now() const { return now_; }
   uint64_t events_executed() const { return executed_; }
@@ -61,7 +92,9 @@ class Simulator {
   /// Schedules `fn` at absolute time `t`; t must be >= now().
   void ScheduleAt(SimTime t, UniqueFunction fn) {
     DPDPU_CHECK(t >= now_);
-    heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+    uint64_t seq = next_seq_++;
+    if (race_) race_->OnSchedule(seq, t, current_event_);
+    heap_.push_back(Event{t, TieKey(seq), seq, current_event_, std::move(fn)});
     std::push_heap(heap_.begin(), heap_.end(), Event::Later);
   }
 
@@ -75,7 +108,11 @@ class Simulator {
     now_ = ev.time;
     ++executed_;
     ++total_executed_;
+    current_event_ = ev.seq;
+    if (race_) race_->BeginEvent(ev.seq, ev.time, ev.parent);
     ev.fn();
+    if (race_) race_->EndEvent();
+    current_event_ = kNoEvent;
     return true;
   }
 
@@ -100,24 +137,69 @@ class Simulator {
   /// Runs for `d` ns of virtual time from now.
   uint64_t RunFor(SimTime d) { return RunUntil(now_ + d); }
 
+  /// Selects the tie-break policy for subsequently scheduled events (the
+  /// tie key is computed at scheduling time). `seed` keys kShuffle.
+  void SetTieBreak(TieBreak policy, uint64_t seed = 1) {
+    tie_policy_ = policy;
+    shuffle_seed_ = seed;
+  }
+  TieBreak tie_break() const { return tie_policy_; }
+
+  /// Attaches a happens-before race checker (replacing any current one).
+  /// Also enabled automatically in Debug builds and via
+  /// DPDPU_SIM_RACECHECK=1; an explicit call overrides the environment.
+  RaceChecker& EnableRaceCheck(RaceChecker::Options options = {}) {
+    race_ = std::make_unique<RaceChecker>(options);
+    return *race_;
+  }
+  void DisableRaceCheck() { race_.reset(); }
+  RaceChecker* race_checker() { return race_.get(); }
+
+  /// Flushes the checker's final timestamp bucket and prints reports
+  /// (aborting on fatal races). Runs from the destructor; call earlier
+  /// to read race_checker()->race_count() before the simulator dies.
+  void FinishRaceCheck() {
+    if (race_) race_->Finalize();
+  }
+
  private:
   struct Event {
     SimTime time;
+    uint64_t tie;
     uint64_t seq;
+    uint64_t parent;  // event executing when this one was scheduled
     UniqueFunction fn;
 
-    // Min-heap on (time, seq) via std::push_heap's max-heap comparator.
+    // Min-heap on (time, tie, seq) via std::push_heap's max-heap
+    // comparator; seq last keeps the order total for every policy.
     static bool Later(const Event& a, const Event& b) {
       if (a.time != b.time) return a.time > b.time;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
 
+  uint64_t TieKey(uint64_t seq) const {
+    switch (tie_policy_) {
+      case TieBreak::kFifo:
+        return seq;
+      case TieBreak::kLifo:
+        return ~seq;
+      case TieBreak::kShuffle:
+        return SplitMix64(seq ^ shuffle_seed_);
+    }
+    return seq;
+  }
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  uint64_t current_event_ = kNoEvent;
+  TieBreak tie_policy_ = TieBreak::kFifo;
+  uint64_t shuffle_seed_ = 1;
   static inline uint64_t total_executed_ = 0;
   std::vector<Event> heap_;
+  std::unique_ptr<RaceChecker> race_;
 };
 
 /// A repeating event: fires `fn` every `interval` ns until Cancel() or

@@ -29,11 +29,24 @@ Rules:
                              *Spec structs without a default member
                              initializer (indeterminate reads are both UB
                              and a nondeterminism source).
+  R6  same-time-scheduling   zero-delay scheduling (`Schedule(0, ...)`,
+                             `ScheduleAt(now(), ...)`) and raw-`this`
+                             lambda captures in Schedule/ScheduleAt calls.
+                             Same-time rescheduling widens the tie-break
+                             surface simrace has to reason about, and a
+                             raw `this` in a heap-held closure is a
+                             use-after-free once the object dies before
+                             its fire time. Both have legitimate uses —
+                             every one needs a reasoned allow naming the
+                             lifetime/ordering guarantee.
 
 Suppression:
   * inline, same or previous line:  // simlint:allow(R1): <reason>
   * file-level, tools/simlint/allowlist.txt:  <path> <rule> <reason>
-  Both require a non-empty reason; a bare suppression is itself an error.
+  Both require a non-empty reason; a bare suppression is itself an error,
+  and so is a stale one: an inline allow that suppresses nothing, a
+  file-level entry whose rule no longer fires in the (scanned) file, or a
+  file-level entry whose file is gone from the tree all fail the lint.
 
 Usage:
   python3 tools/simlint/simlint.py              # lint src/ bench/ examples/
@@ -57,6 +70,8 @@ RULES = {
     "R3": "ordering derived from raw pointer values",
     "R4": "dropped or laundered Status/Result (and [[nodiscard]] regression)",
     "R5": "uninitialized trivially-typed field in a Config/Options/Spec",
+    "R6": "same-timestamp scheduling / raw-`this` capture in a scheduled "
+          "callback",
 }
 
 
@@ -140,11 +155,11 @@ def strip_comments_and_strings(text):
 # ---------------------------------------------------------------------------
 
 INLINE_ALLOW = re.compile(
-    r"simlint:\s*allow\((R[1-5])\)\s*(?::\s*(.*?))?\s*$")
+    r"simlint:\s*allow\((R[1-6])\)\s*(?::\s*(.*?))?\s*$")
 
 
 def inline_suppressions(original_text, path, errors):
-    """Maps rule -> set of line numbers the suppression covers."""
+    """Maps rule -> {covered line: line of the allow comment itself}."""
     allowed = {}
     for lineno, line in enumerate(original_text.splitlines(), start=1):
         m = INLINE_ALLOW.search(line)
@@ -159,7 +174,9 @@ def inline_suppressions(original_text, path, errors):
             continue
         # A suppression covers its own line and the next one, so it can sit
         # above the flagged statement or trail it.
-        allowed.setdefault(rule, set()).update({lineno, lineno + 1})
+        covered = allowed.setdefault(rule, {})
+        covered[lineno] = lineno
+        covered.setdefault(lineno + 1, lineno)
     return allowed
 
 
@@ -417,17 +434,65 @@ def check_r5(path, stripped, report):
 
 
 # ---------------------------------------------------------------------------
+# R6: same-timestamp scheduling and raw-`this` captures in scheduled
+# callbacks.
+# ---------------------------------------------------------------------------
+
+R6_ZERO_DELAY = re.compile(r"(?:\.|->)Schedule\s*\(\s*0\s*,")
+# ScheduleAt(<expr ending in now()>, ...) — `now() + delay` does not match
+# (the comma must directly follow the call), so only exact same-time
+# scheduling trips this.
+R6_AT_NOW = re.compile(r"(?:\.|->)ScheduleAt\s*\([^;(]*?\bnow\s*\(\s*\)\s*,")
+R6_SCHED_CALL = re.compile(r"(?:\.|->)Schedule(?:At)?\s*\(")
+R6_THIS_CAPTURE = re.compile(r"\[[^\]\[]*\bthis\b[^\]\[]*\]")
+
+
+def check_r6(path, stripped, report):
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if R6_ZERO_DELAY.search(line) or R6_AT_NOW.search(line):
+            report(Violation(
+                path, lineno, "R6",
+                "zero-delay scheduling runs the callback at the *same* "
+                "timestamp: the new event lands in the current tie-break "
+                "bucket, where ordering is policy-dependent — add a real "
+                "latency, or allow with the reason the same-time chain is "
+                "causally ordered (parent edges cover it)"))
+    # Raw-`this` captured into a scheduled closure: the closure sits on
+    # the event heap and cannot be canceled, so it outlives any lifetime
+    # the compiler can see. Scan the window between `Schedule(` and the
+    # lambda body's `{` (capture lists always precede it).
+    for m in R6_SCHED_CALL.finditer(stripped):
+        window = stripped[m.end():m.end() + 400]
+        brace = window.find("{")
+        semi = window.find(";")
+        cut = min(x for x in (brace, semi, len(window)) if x >= 0)
+        if R6_THIS_CAPTURE.search(window[:cut]):
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            report(Violation(
+                path, lineno, "R6",
+                "raw `this` captured into a scheduled callback: events "
+                "cannot be canceled, so this is a use-after-free if the "
+                "object dies first — capture a shared/weak liveness token "
+                "(see PeriodicTask::Heart), or allow with the lifetime "
+                "guarantee"))
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
-CHECKS = [check_r1, check_r2, check_r3, check_r4, check_r5]
+CHECKS = [check_r1, check_r2, check_r3, check_r4, check_r5, check_r6]
 
 
-def lint_text(path, text, file_allow=None, errors=None):
+def lint_text(path, text, file_allow=None, errors=None,
+              used_file_rules=None):
     """Lints one translation unit; returns surviving violations.
 
-    `file_allow` maps rule -> reason for file-level allowlist entries.
+    `file_allow` maps rule -> reason for file-level allowlist entries;
+    rules that actually suppressed a violation are added to
+    `used_file_rules` (when given) so the caller can flag stale entries.
     `errors`, when given, collects malformed-suppression diagnostics.
+    Inline allows that suppress nothing are themselves violations.
     """
     file_allow = file_allow or {}
     errors = errors if errors is not None else []
@@ -437,12 +502,27 @@ def lint_text(path, text, file_allow=None, errors=None):
     for check in CHECKS:
         check(path, stripped, raw.append)
     survivors = []
+    used_inline = set()  # (rule, line of the allow comment)
     for v in raw:
-        if v.rule in file_allow:
+        covered = allowed_lines.get(v.rule, {})
+        if v.line in covered:
+            used_inline.add((v.rule, covered[v.line]))
             continue
-        if v.line in allowed_lines.get(v.rule, ()):
+        if v.rule in file_allow:
+            if used_file_rules is not None:
+                used_file_rules.add(v.rule)
             continue
         survivors.append(v)
+    # An allow that suppresses nothing is a waiver rotting in place —
+    # either the code was fixed (delete the comment) or the comment is on
+    # the wrong line (move it).
+    for rule, covered in sorted(allowed_lines.items()):
+        for comment_line in sorted(set(covered.values())):
+            if (rule, comment_line) not in used_inline:
+                survivors.append(Violation(
+                    path, comment_line, rule,
+                    f"stale inline simlint:allow({rule}): it suppresses "
+                    "nothing on this or the next line; remove it"))
     return survivors + errors
 
 
@@ -483,24 +563,39 @@ def main(argv=None):
     allowlist = load_allowlist(allowlist_path)
 
     violations = []
-    used_allowlist_keys = set()
+    scanned = set()
+    suppressing_keys = set()  # entries that suppressed >= 1 violation
     for full in collect_files(args.repo_root, args.roots):
         rel = os.path.relpath(full, args.repo_root)
+        scanned.add(rel)
         file_allow = {}
         for (entry_path, rule), reason in allowlist.items():
             if entry_path == rel:
                 file_allow[rule] = reason
-                used_allowlist_keys.add((entry_path, rule))
+        used_rules = set()
         with open(full) as f:
             text = f.read()
-        violations.extend(lint_text(rel, text, file_allow))
+        violations.extend(
+            lint_text(rel, text, file_allow, used_file_rules=used_rules))
+        suppressing_keys.update((rel, rule) for rule in used_rules)
 
-    # Stale allowlist entries rot into blanket waivers; reject them.
-    for key in sorted(set(allowlist) - used_allowlist_keys):
-        violations.append(Violation(
-            allowlist_path, 1, key[1],
-            f"stale allowlist entry for {key[0]} (file not scanned); "
-            "remove it"))
+    # Stale allowlist entries rot into blanket waivers; reject them. An
+    # entry is stale when its file left the tree, or when the file was
+    # scanned and the waived rule no longer fires in it. A file that
+    # exists but sits outside this run's roots (subtree lint) is not
+    # judged — only the full-tree run can prove an entry useless.
+    for key in sorted(set(allowlist) - suppressing_keys):
+        entry_path, rule = key
+        if not os.path.exists(os.path.join(args.repo_root, entry_path)):
+            violations.append(Violation(
+                allowlist_path, 1, rule,
+                f"stale allowlist entry for {entry_path} (file no longer "
+                "exists); remove it"))
+        elif entry_path in scanned:
+            violations.append(Violation(
+                allowlist_path, 1, rule,
+                f"stale allowlist entry for {entry_path} ({rule} no "
+                "longer fires there); remove it"))
 
     for v in violations:
         print(v)

@@ -263,6 +263,103 @@ class R5Test(unittest.TestCase):
         self.assertEqual(lint("struct Point { int x; int y; };"), [])
 
 
+class R6Test(unittest.TestCase):
+    def test_zero_delay_schedule_fires(self):
+        self.assertEqual(
+            rules_of(lint("sim_->Schedule(0, [&] { Poll(); });")), ["R6"])
+        self.assertEqual(
+            rules_of(lint("sim.Schedule(0, std::move(fn));")), ["R6"])
+
+    def test_schedule_at_now_fires(self):
+        self.assertEqual(
+            rules_of(lint("sim->ScheduleAt(sim->now(), std::move(fn));")),
+            ["R6"])
+
+    def test_raw_this_capture_fires(self):
+        self.assertEqual(
+            rules_of(lint("sim_->Schedule(10, [this] { Poll(); });")),
+            ["R6"])
+        # Multi-line call with the capture on the continuation line.
+        text = ("fleet_->simulator()->Schedule(\n"
+                "    options_.retry_timeout, [this, op, generation] {\n"
+                "      Retry(op);\n"
+                "    });\n")
+        self.assertEqual(rules_of(lint(text)), ["R6"])
+
+    def test_lookalikes_stay_quiet(self):
+        for snippet in [
+            "sim_->Schedule(10, [heart] { heart->fn(); });",  # token capture
+            "sim->ScheduleAt(sim->now() + delay, std::move(fn));",  # future
+            "sim_->Schedule(delay, std::move(fn));",  # no lambda at all
+            "Reschedule(0, fn);",  # free function, not the simulator API
+        ]:
+            with self.subTest(snippet=snippet):
+                self.assertEqual(lint(snippet), [])
+
+    def test_allow_with_reason_suppresses(self):
+        text = ("// simlint:allow(R6): driver outlives the drained heap\n"
+                "sim_->Schedule(10, [this] { Poll(); });\n")
+        self.assertEqual(lint(text), [])
+
+    def test_zero_delay_with_this_needs_one_allow_for_both(self):
+        # Both R6 patterns fire on the same line; a single reasoned allow
+        # covers them (they are the same rule).
+        text = ("// simlint:allow(R6): alive-token-guarded deferral\n"
+                "sim_->Schedule(0, [this, alive] { Fail(); });\n")
+        self.assertEqual(lint(text), [])
+
+
+class StaleSuppressionTest(unittest.TestCase):
+    def test_unused_inline_allow_is_flagged(self):
+        text = ("// simlint:allow(R1): left behind after a refactor\n"
+                "double x = sim_.now();\n")
+        violations = lint(text)
+        self.assertEqual(rules_of(violations), ["R1"])
+        self.assertIn("stale inline", violations[0].message)
+
+    def test_used_inline_allow_is_not_flagged(self):
+        text = ("// simlint:allow(R1): wall path\n"
+                "auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual(lint(text), [])
+
+    def test_used_file_rules_are_reported_to_caller(self):
+        used = set()
+        simlint.lint_text(
+            "fixture.cc", "auto t = std::chrono::steady_clock::now();\n",
+            file_allow={"R1": "wall path", "R3": "unrelated"},
+            used_file_rules=used)
+        self.assertEqual(used, {"R1"})
+
+    def _run_main_with_allowlist(self, entry, roots):
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write(entry + "\n")
+            path = f.name
+        try:
+            return simlint.main(["--allowlist", path] + roots)
+        finally:
+            os.unlink(path)
+
+    def test_entry_for_missing_file_fails_even_in_subtree_runs(self):
+        rc = self._run_main_with_allowlist(
+            "src/no/such/file.cc R1 the file is long gone", ["src/sim"])
+        self.assertEqual(rc, 1)
+
+    def test_entry_for_scanned_file_without_the_violation_fails(self):
+        rc = self._run_main_with_allowlist(
+            "src/sim/simulator.h R3 never actually fired here", ["src/sim"])
+        self.assertEqual(rc, 1)
+
+    def test_entry_outside_scanned_roots_is_not_judged(self):
+        # metrics.h R1 is the live repo waiver; a subtree run that never
+        # scans it cannot tell whether it is stale and must not fail.
+        rc = self._run_main_with_allowlist(
+            "src/core/runtime/metrics.h R1 wall-clock measurement path",
+            ["src/sim"])
+        self.assertEqual(rc, 0)
+
+
 class DriverTest(unittest.TestCase):
     def test_repo_tree_is_clean(self):
         # The whole point of the exercise: the shipped tree has zero
