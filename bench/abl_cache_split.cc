@@ -54,14 +54,21 @@ double Run(double dpu_cache_share, double host_fraction) {
                               uint64_t(kTotalCache * dpu_cache_share));
 
   se::RemoteStorageClient rsc(&client.network(), 1, 9000);
-  Pcg32 rng(13);
   ZipfGenerator zipf(kFilePages, 0.99);
   Histogram latency;
 
   constexpr int kReads = 4000;
   int done = 0;
+  int next_read = 0;
+  // One outstanding read, RNG keyed off the issue counter: this
+  // ablation measures cache *placement*, and concurrency would fold
+  // queueing noise into the mean — worse, two reads co-arriving at a
+  // FIFO (host-path and remote-path requests converge at the SSD and
+  // the wire) make the queue admission order, and so the latency sum,
+  // an artifact of event tie-breaking.
   std::function<void()> issue = [&] {
     if (done >= kReads) return;
+    Pcg32 rng(sim::SplitMix64(13 ^ uint64_t(next_read++)));
     uint64_t page = zipf.Next(rng);
     sim::SimTime start = sim.now();
     auto finish = [&, start](bool ok) {
@@ -87,7 +94,7 @@ double Run(double dpu_cache_share, double host_fraction) {
                [finish](Result<Buffer> d) { finish(d.ok()); });
     }
   };
-  for (int i = 0; i < 16; ++i) issue();
+  issue();
   sim.Run();
   return latency.Mean() / 1000.0;  // us
 }

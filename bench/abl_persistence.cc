@@ -38,14 +38,16 @@ Histogram Run(se::PersistMode mode, size_t write_bytes, int writes) {
   se::RemoteStorageClient rsc(&client.network(), 1, 9000);
   Buffer payload = kern::GenerateRandomBytes(write_bytes, 3);
   Histogram ack_latency;
-  int done = 0;
+  int next_write = 0;
+  // Offsets key off the issue counter, not the completion counter: with
+  // 4 writes in flight, `done` would hand the same offset to every
+  // initial write and make later offsets depend on completion order.
   std::function<void()> issue = [&] {
-    if (done >= writes) return;
+    if (next_write >= writes) return;
     sim::SimTime start = sim.now();
-    rsc.Write(*file, uint64_t(done) * write_bytes, payload,
+    rsc.Write(*file, uint64_t(next_write++) * write_bytes, payload,
               [&, start](Status s) {
                 if (s.ok()) ack_latency.Add(sim.now() - start);
-                ++done;
                 issue();
               });
   };

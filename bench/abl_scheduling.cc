@@ -48,7 +48,12 @@ TenancyResult RunTenancy(ce::AdmissionQueue::Discipline discipline) {
     });
   }
   for (int i = 0; i < 20; ++i) {
-    sim.ScheduleAt(sim::SimTime(i) * 100 * sim::kMicrosecond, [&] {
+    // The +1us skew keeps small-tenant arrivals off the big tenant's
+    // 50us grid: a shared arrival instant would make ASIC admission
+    // order (and so FCFS p99) depend on event tie-breaking.
+    sim.ScheduleAt(sim::SimTime(i) * 100 * sim::kMicrosecond +
+                       sim::kMicrosecond,
+                   [&] {
       auto item = engine.Invoke(ce::kKernelCompress, small, {},
                                 {ce::ExecTarget::kDpuAsic, 1});
       if (item.ok()) {

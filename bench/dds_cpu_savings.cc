@@ -68,9 +68,12 @@ Point Run(double rate, double offload_fraction) {
   for (uint64_t i = 0; i < total; ++i) {
     sim::SimTime at = sim::SimTime(double(i) / rate * 1e9);
     se::RemoteStorageClient* rsc = clients[i % kClients].get();
+    // Both draws happen here, in schedule order — a handler drawing
+    // from the shared rng would key the draw sequence to tie-break
+    // order (the schedule dependence --perturb used to waive).
     bool offloadable = rng.NextDouble() < offload_fraction;
-    sim.ScheduleAt(at, [rsc, &rng, &completed, offloadable, &file] {
-      uint64_t offset = uint64_t(rng.NextBounded(4000)) * 8192;
+    uint64_t offset = uint64_t(rng.NextBounded(4000)) * 8192;
+    sim.ScheduleAt(at, [rsc, &completed, offloadable, offset, &file] {
       rsc->Read(*file, offset, 8192,
                 [&completed](Result<Buffer> d) {
                   if (d.ok()) ++completed;

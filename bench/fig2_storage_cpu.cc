@@ -52,8 +52,10 @@ Point RunAtRate(se::HostIoPath path, double iops) {
   probe.Start();
   for (uint64_t i = 0; i < total; ++i) {
     sim::SimTime at = sim::SimTime(double(i) / iops * 1e9);
-    sim.ScheduleAt(at, [&platform, &file, &rng, &completed] {
-      uint64_t offset = (uint64_t(rng.NextBounded(8192))) * 8192;
+    // Drawn at schedule time: a draw inside the handler would key the
+    // sequence to event order (simlint R7).
+    uint64_t offset = (uint64_t(rng.NextBounded(8192))) * 8192;
+    sim.ScheduleAt(at, [&platform, &file, offset, &completed] {
       platform.storage().host_client().Read(
           *file, offset, 8192, [&completed](Result<Buffer> d) {
             if (d.ok()) ++completed;

@@ -51,14 +51,18 @@ Point Run(bool offload, int requests, int outstanding) {
   uint8_t flags = offload ? 0 : se::kRequestFlagRequiresHost;
 
   Histogram latency;
-  Pcg32 rng(3);
   uint64_t pcie_before = server.server().pcie().transfers();
   rt::UtilizationProbe probe(&server.server());
   probe.Start();
   int done = 0;
-  // Closed loop with the requested parallelism.
+  int next_request = 0;
+  // Closed loop with the requested parallelism. issue() runs inside
+  // completion callbacks, so each request derives its own RNG from the
+  // issue counter — a shared generator here would tie the draw sequence
+  // to same-timestamp completion order.
   std::function<void()> issue = [&] {
     if (done >= requests) return;
+    Pcg32 rng(sim::SplitMix64(3 ^ uint64_t(next_request++)));
     uint64_t offset = uint64_t(rng.NextBounded(4000)) * 8192;
     sim::SimTime start = sim.now();
     rsc.Read(*file, offset, 8192,

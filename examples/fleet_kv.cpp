@@ -168,7 +168,11 @@ int main() {
   ZipfGenerator zipf(kKeys, 0.99);
   auto run_gets = [&](int count, int* ok_count, int* bad_count) {
     for (int i = 0; i < count; ++i) {
+      // run_gets is a plain helper invoked synchronously between sim
+      // runs, so these draws happen in program order, outside the sim.
+      // simlint:allow(R7): synchronous helper lambda, draws not scheduled
       int id = int(zipf.Next(rng));
+      // simlint:allow(R7): synchronous helper lambda, draws not scheduled
       clients[rng.NextBounded(uint32_t(clients.size()))]->Get(
           "user:" + std::to_string(id),
           [&, id](Result<std::string> value) {

@@ -36,12 +36,23 @@ an error (stale waiver), mirroring the simlint allowlist policy.
 order-dependent build/tests/simrace_oracle binary must diverge between
 fifo and lifo AND report the underlying race on stderr.
 
+A fifth mode, --explore, goes beyond the three sampled schedules: it
+drives the simex model checker (build/tools/simex/simex) over its
+scenario targets, which enumerate same-timestamp orderings (DPOR-pruned
+via simrace's causal DAG) and fault-injection choice points (node
+fail/recover timing, frame-drop placement). Clean targets must explore
+clean; the seeded pagecache-race target must FAIL, proving the explorer
+still finds real bugs. Reports schedules explored vs the naive
+enumeration pruned away. --explore-budget-scale N deepens the walk for
+the nightly run.
+
 Usage:
   python3 scripts/check_bench.py --build-dir build              # check
   python3 scripts/check_bench.py --build-dir build --update     # re-baseline
   python3 scripts/check_bench.py --build-dir build --self-check # run-twice
   python3 scripts/check_bench.py --build-dir build --perturb    # tie-break
   python3 scripts/check_bench.py --build-dir build --perturb-selftest
+  python3 scripts/check_bench.py --build-dir build --explore    # simex
 """
 
 import argparse
@@ -177,20 +188,11 @@ def self_check(build_dir):
 # draw order (not a state race — simrace runs them clean — but the
 # workload itself is schedule-keyed). ROADMAP tracks moving those draws
 # to per-request counter-keyed streams so this list can be emptied.
-PERTURB_SKIPS = {
-    "fleet_cpu_savings":
-        "DDS-path clients share one Pcg32; tie order permutes draw order",
-    "dds_cpu_savings":
-        "DDS-path clients share one Pcg32; tie order permutes draw order",
-    "fig8_dds_path":
-        "DDS-path clients share one Pcg32; tie order permutes draw order",
-    "abl_cache_split":
-        "ablation over the DDS path; inherits the shared-Pcg32 draw order",
-    "abl_persistence":
-        "ablation over the DDS path; inherits the shared-Pcg32 draw order",
-    "abl_scheduling":
-        "ablation over the DDS path; inherits the shared-Pcg32 draw order",
-}
+# Burned down to empty: every request stream now derives a counter-keyed
+# RNG (seed ^ client-id ^ request-index), so draws no longer depend on
+# same-timestamp tie order. Keep the stale-skip policy: any new entry
+# must name the bench, the reason, and still diverge when checked.
+PERTURB_SKIPS = {}
 
 PERTURB_POLICIES = ("lifo", "shuffle:7")
 
@@ -308,6 +310,71 @@ def perturb_selftest(build_dir):
     return 0
 
 
+# --------------------------------------------------------------------------
+# Systematic exploration (simex).
+# --------------------------------------------------------------------------
+
+# (target, smoke budget, expect_clean). pagecache-race is the seeded-bug
+# self-test: the explorer must fail it, proving the exploration gate can
+# still see a real schedule bug (mirrors --perturb-selftest).
+EXPLORE_TARGETS = (
+    ("minitcp", 64, True),
+    ("fleet", 48, True),
+    ("pagecache-race", 16, False),
+)
+
+
+def explore(build_dir, budget_scale):
+    exe = os.path.join(build_dir, "tools", "simex", "simex")
+    if not os.path.exists(exe):
+        print(f"explore: missing {exe} (build the simex target)")
+        return 1
+
+    failures = 0
+    total_schedules = 0
+    total_naive_log10 = 0.0
+    for target, budget, expect_clean in EXPLORE_TARGETS:
+        out = subprocess.run(
+            [exe, f"--target={target}", f"--budget={budget * budget_scale}"],
+            capture_output=True, text=True)
+        stats = None
+        for line in out.stdout.splitlines():
+            if line.startswith("simex-json: "):
+                stats = json.loads(line[len("simex-json: "):])
+        if out.returncode not in (0, 1) or stats is None:
+            failures += 1
+            print(f"explore: {target}: CRASHED (exit {out.returncode})")
+            print(out.stdout[-2000:])
+            print(out.stderr[-2000:])
+            continue
+        clean = out.returncode == 0
+        total_schedules += stats["schedules"]
+        total_naive_log10 += stats["naive_log10"]
+        summary = (f"{stats['schedules']} schedules explored, naive "
+                   f"~1e{stats['naive_log10']:.1f}, "
+                   f"~{stats['pruning_factor']:.3g}x pruned")
+        if clean == expect_clean:
+            verdict = "OK" if clean else "OK (seeded bug re-found)"
+            print(f"explore: {target}: {verdict} ({summary})")
+            continue
+        failures += 1
+        if expect_clean:
+            print(f"explore: {target}: SCHEDULE BUG FOUND ({summary})")
+            # The CLI already minimized; surface its trace.
+            for line in out.stdout.splitlines():
+                print(f"  {line}")
+        else:
+            print(f"explore: {target}: BLIND — the seeded bug was not "
+                  f"found within budget ({summary})")
+
+    if failures:
+        print(f"\nexplore: {failures}/{len(EXPLORE_TARGETS)} targets failed")
+        return 1
+    print(f"explore: OK ({len(EXPLORE_TARGETS)} targets, {total_schedules} "
+          f"schedules explored vs ~1e{total_naive_log10:.1f} naive)")
+    return 0
+
+
 def classify(unit):
     if unit in WALL_RUNTIME_UNITS:
         return "wall_runtime"
@@ -334,6 +401,12 @@ def main():
     parser.add_argument("--perturb-selftest", action="store_true",
                         help="prove the perturbation oracle catches the "
                              "seeded order-dependent handler")
+    parser.add_argument("--explore", action="store_true",
+                        help="run the simex model checker over its "
+                             "scenario targets (smoke budgets)")
+    parser.add_argument("--explore-budget-scale", type=int, default=1,
+                        help="multiply every --explore budget (nightly "
+                             "deep runs)")
     args = parser.parse_args()
 
     if args.self_check:
@@ -342,6 +415,8 @@ def main():
         return perturb(args.build_dir)
     if args.perturb_selftest:
         return perturb_selftest(args.build_dir)
+    if args.explore:
+        return explore(args.build_dir, args.explore_budget_scale)
 
     current = {}
     current.update(run_fleet(args.build_dir))

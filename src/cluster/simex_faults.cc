@@ -1,0 +1,47 @@
+#include "cluster/simex_faults.h"
+
+#include "common/logging.h"
+
+namespace dpdpu::cluster {
+
+const ArmedFault& FaultSchedule::Arm(const FaultScheduleOptions& options) {
+  DPDPU_CHECK(options.node < fleet_->storage_servers());
+  DPDPU_CHECK(options.allow_no_fail || !options.fail_times.empty());
+  sim::Simulator* sim = fleet_->simulator();
+
+  ArmedFault armed;
+  armed.node = options.node;
+
+  const uint32_t skip = options.allow_no_fail ? 1 : 0;
+  const uint32_t fail_n = uint32_t(options.fail_times.size()) + skip;
+  uint32_t pick = sim->Choose("fault.fail_time", options.node, fail_n);
+  if (pick >= skip && !options.fail_times.empty()) {
+    armed.did_fail = true;
+    armed.fail_time = options.fail_times[pick - skip];
+    Fleet* fleet = fleet_;
+    uint32_t node = options.node;
+    FailMode mode = options.mode;
+    sim->ScheduleAt(armed.fail_time,
+                    [fleet, node, mode] { fleet->FailStorageNode(node, mode); });
+
+    if (!options.recover_after.empty()) {
+      const uint32_t rskip = options.allow_no_recover ? 1 : 0;
+      const uint32_t recover_n =
+          uint32_t(options.recover_after.size()) + rskip;
+      uint32_t rpick =
+          sim->Choose("fault.recover_after", options.node, recover_n);
+      if (rpick >= rskip) {
+        armed.did_recover = true;
+        armed.recover_time =
+            armed.fail_time + options.recover_after[rpick - rskip];
+        sim->ScheduleAt(armed.recover_time,
+                        [fleet, node] { fleet->RecoverStorageNode(node); });
+      }
+    }
+  }
+
+  armed_.push_back(armed);
+  return armed_.back();
+}
+
+}  // namespace dpdpu::cluster

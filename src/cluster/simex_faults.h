@@ -1,0 +1,75 @@
+// simex fault adapter: turns the fleet's failure-injection hooks into
+// simulator choice points, so the explorer can enumerate *when* a node
+// fails and recovers rather than the scenario hard-coding one timing.
+//
+// Each Arm() call registers one fail-timing choice (alternative 0 = no
+// fault when allowed, then one alternative per candidate time) and, on
+// branches that do fail, one recover-timing choice. With no chooser
+// installed every choice resolves to its default, so arming is free in
+// normal runs: scenarios can share one code path between the reference
+// schedule and exploration. Frame-drop placement (the MiniTCP
+// drop/abort axis) lives one layer down — Network::ExploreDrops — and
+// composes with this adapter in the same scenario.
+
+#ifndef DPDPU_CLUSTER_SIMEX_FAULTS_H_
+#define DPDPU_CLUSTER_SIMEX_FAULTS_H_
+
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "sim/simulator.h"
+
+namespace dpdpu::cluster {
+
+struct FaultScheduleOptions {
+  /// Storage node index to fail.
+  uint32_t node = 0;
+  FailMode mode = FailMode::kGraceful;
+  /// Candidate absolute fail times (virtual ns). Empty + allow_no_fail
+  /// arms a degenerate single-alternative choice (never fails).
+  std::vector<sim::SimTime> fail_times;
+  /// When true, alternative 0 skips the fault entirely (the default).
+  /// When false the first fail time is the default — for scenarios
+  /// whose invariant is about failover itself.
+  bool allow_no_fail = true;
+  /// Candidate recovery delays measured from the chosen fail time.
+  /// Empty = the node stays down.
+  std::vector<sim::SimTime> recover_after;
+  /// When true, alternative 0 of the recover choice leaves the node
+  /// down (the default on fail branches).
+  bool allow_no_recover = true;
+};
+
+/// What one Arm() call resolved to (for scenario assertions and metric
+/// lines). Times are meaningful only when the matching `did_*` is set.
+struct ArmedFault {
+  uint32_t node = 0;
+  bool did_fail = false;
+  bool did_recover = false;
+  sim::SimTime fail_time = 0;
+  sim::SimTime recover_time = 0;
+};
+
+/// Registers fault choice points against a fleet and schedules whatever
+/// the simulator's chooser picks. Must outlive the simulation run only
+/// if armed() is read afterwards; the scheduled closures capture the
+/// fleet, not the schedule object.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(Fleet* fleet) : fleet_(fleet) {}
+
+  /// Registers the choice points for one node and schedules the chosen
+  /// fail/recover pair. Call before running the workload (choice order
+  /// must be a pure function of the schedule). Returns what was chosen.
+  const ArmedFault& Arm(const FaultScheduleOptions& options);
+
+  const std::vector<ArmedFault>& armed() const { return armed_; }
+
+ private:
+  Fleet* fleet_;
+  std::vector<ArmedFault> armed_;
+};
+
+}  // namespace dpdpu::cluster
+
+#endif  // DPDPU_CLUSTER_SIMEX_FAULTS_H_

@@ -49,7 +49,6 @@ FleetClient::FleetClient(Fleet* fleet, uint32_t client_index,
     : fleet_(fleet),
       client_index_(client_index),
       options_(options),
-      rng_(options.seed * 0x9e3779b97f4a7c15ull + client_index + 1),
       zipf_(options.keyspace, options.zipf_theta),
       stamp_seed_(options.seed * 0x9e3779b97f4a7c15ull + client_index + 1) {
   DPDPU_CHECK(options_.keyspace * options_.request_bytes <=
@@ -80,13 +79,21 @@ se::RemoteStorageClient* FleetClient::ClientFor(netsub::NodeId node) {
 }
 
 void FleetClient::IssueOne(std::function<void()> done) {
-  // RNG draw order is part of the determinism contract: key, then
-  // offload flag, then the read/write split.
-  uint64_t key = zipf_.Next(rng_);
-  uint8_t flags = rng_.NextDouble() < options_.offload_fraction
+  // Counter-keyed request stream: request k of client c always draws
+  // from Pcg32(mix(seed, c, k)), so its key/offload/read-write split is
+  // a pure function of request identity. A shared cursor-style RNG here
+  // would let same-timestamp tie order permute the draw sequence across
+  // in-flight completions — the schedule dependence PERTURB_SKIPS used
+  // to waive. Draw order within a request is still part of the
+  // contract: key, then offload flag, then the read/write split.
+  Pcg32 rng(sim::SplitMix64(options_.seed ^
+                            (uint64_t(client_index_) << 32) ^
+                            issue_counter_++));
+  uint64_t key = zipf_.Next(rng);
+  uint8_t flags = rng.NextDouble() < options_.offload_fraction
                       ? 0
                       : se::kRequestFlagRequiresHost;
-  bool is_read = rng_.NextDouble() < options_.read_fraction;
+  bool is_read = rng.NextDouble() < options_.read_fraction;
   Issue(key, is_read, flags, std::move(done));
 }
 

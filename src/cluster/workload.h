@@ -109,7 +109,8 @@ class FleetClient {
   Fleet* fleet_;
   uint32_t client_index_;
   WorkloadOptions options_;
-  Pcg32 rng_;
+  /// Requests issued so far; keys each request's counter-derived RNG.
+  uint64_t issue_counter_ = 0;
   ZipfGenerator zipf_;
   uint64_t stamp_seed_;
   std::map<netsub::NodeId, std::unique_ptr<se::RemoteStorageClient>>

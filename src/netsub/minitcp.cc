@@ -73,8 +73,10 @@ void TcpConnection::Send(ByteSpan data) {
   DPDPU_SIM_ACCESS(race_tag_, "TcpConnection", /*key=*/0,
                    sim::AccessKind::kCommutativeWrite);
   if (state_ == State::kClosed) return;  // aborted/closed: drop writes
+  if (data.empty()) return;
   send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
   write_seq_ += data.size();
+  message_ends_.push_back(write_seq_);
   if (state_ == State::kEstablished) Pump();
 }
 
@@ -90,9 +92,22 @@ void TcpConnection::Pump() {
   uint64_t wnd = std::min<uint64_t>(cwnd_, peer_wnd_);
   while (snd_nxt_ < write_seq_ && (snd_nxt_ - snd_una_) < wnd) {
     uint64_t remaining_wnd = wnd - (snd_nxt_ - snd_una_);
-    size_t len = static_cast<size_t>(std::min<uint64_t>(
-        {uint64_t(config_.mss), write_seq_ - snd_nxt_, remaining_wnd}));
-    if (len == 0) break;
+    // Segment boundaries are message-framed and MSS-quantized: cut at
+    // min(mss, end of the current app write), and hold a segment that
+    // does not fit the window whole instead of sending a fragment.
+    // Fragmenting at the window edge would make segment boundaries (and
+    // per-segment CPU charges) depend on how much window happened to be
+    // open — i.e. on same-timestamp tie order between app writes and
+    // ACK arrivals. cwnd and the advertised window never drop below one
+    // MSS, so an empty pipe can always fit the next segment.
+    while (!message_ends_.empty() && message_ends_.front() <= snd_nxt_) {
+      message_ends_.pop_front();
+    }
+    uint64_t boundary =
+        message_ends_.empty() ? write_seq_ : message_ends_.front();
+    size_t len = static_cast<size_t>(
+        std::min<uint64_t>(uint64_t(config_.mss), boundary - snd_nxt_));
+    if (len == 0 || len > remaining_wnd) break;
     SendSegment(snd_nxt_, len, /*retransmission=*/false);
     snd_nxt_ += len;
     if (snd_nxt_ > snd_max_) snd_max_ = snd_nxt_;
@@ -171,6 +186,7 @@ void TcpConnection::Abort() {
   state_ = State::kClosed;
   ++stats_.aborts;
   send_buffer_.clear();
+  message_ends_.clear();
   out_of_order_.clear();
   // Collapse the send window so late ACKs for reaped bytes are ignored
   // (HandleAck drops anything above snd_max_) and bytes_unacked() is 0.
@@ -253,7 +269,7 @@ void TcpConnection::UpdateRtt(sim::SimTime sample) {
   rto_ = std::clamp(rto, config_.rto_min, config_.rto_max);
 }
 
-void TcpConnection::HandleAck(uint64_t ack) {
+void TcpConnection::HandleAck(uint64_t ack, bool pure_ack) {
   if (ack > snd_max_) return;  // acks data we never sent; ignore
   if (ack > snd_una_) {
     dup_acks_ = 0;
@@ -288,7 +304,12 @@ void TcpConnection::HandleAck(uint64_t ack) {
     rto_armed_ = false;
     ++rto_generation_;
     ArmRtoTimer();
-  } else if (ack == snd_una_ && snd_nxt_ > snd_una_) {
+  } else if (pure_ack && ack == snd_una_ && snd_nxt_ > snd_una_) {
+    // RFC 5681 duplicate-ACK accounting: only data-free segments count.
+    // A peer interleaving request ACKs with response data repeats the
+    // same ack number on every data segment; counting those as dups
+    // fired spurious fast retransmits whose number depended on how app
+    // writes and arrivals happened to interleave.
     if (++dup_acks_ == 3) {
       ++stats_.fast_retransmits;
       EnterRecovery(/*timeout=*/false);
@@ -353,7 +374,7 @@ void TcpConnection::OnSegment(uint64_t seq, uint64_t ack, uint8_t flags,
       if (state_ == State::kSynSent) {
         rcv_nxt_ = seq + 1;
         peer_wnd_ = wnd;
-        HandleAck(ack);
+        HandleAck(ack, /*pure_ack=*/false);
         state_ = State::kEstablished;
         SendAck();
         Pump();
@@ -380,7 +401,7 @@ void TcpConnection::OnSegment(uint64_t seq, uint64_t ack, uint8_t flags,
     if (state_ == State::kSynReceived && ack >= 1) {
       state_ = State::kEstablished;
     }
-    HandleAck(ack);
+    HandleAck(ack, /*pure_ack=*/payload.empty() && !(flags & kFlagFin));
     if (state_ == State::kEstablished || state_ == State::kFinWait) Pump();
   }
 

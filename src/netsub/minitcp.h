@@ -103,7 +103,7 @@ class TcpConnection {
 
   void OnSegment(uint64_t seq, uint64_t ack, uint8_t flags, uint32_t wnd,
                  ByteSpan payload);
-  void HandleAck(uint64_t ack);
+  void HandleAck(uint64_t ack, bool pure_ack);
   void Pump();
   void SendSegment(uint64_t seq, size_t len, bool retransmission);
   void SendControl(uint8_t flags, uint64_t seq);
@@ -123,6 +123,12 @@ class TcpConnection {
 
   // Send side. Sequence space: SYN consumes 1, data bytes follow.
   std::deque<uint8_t> send_buffer_;  // bytes [snd_una_, write_seq_)
+  /// End seq of each queued app write. Pump never packs bytes from two
+  /// writes into one segment and never cuts a segment at the window
+  /// edge, so the segment-size sequence is a pure function of the
+  /// message sizes — same-timestamp ordering of app writes vs ACK
+  /// arrivals moves *when* segments leave, never how many.
+  std::deque<uint64_t> message_ends_;
   uint64_t snd_una_ = 0;
   uint64_t snd_nxt_ = 0;
   uint64_t snd_max_ = 0;  // highest sequence ever sent (go-back-N rewinds

@@ -24,6 +24,14 @@ void Network::Send(Packet packet) {
     return;
   }
   bool lost = loss_rate_ > 0.0 && loss_rng_.NextBool(loss_rate_);
+  // Drop-placement choice point (ExploreDrops): decided at send time so
+  // the decision sequence is a pure function of the schedule.
+  if (explore_drop_window_ > 0 && packet.kind == explore_drop_kind_) {
+    --explore_drop_window_;
+    if (sim_->Choose("net.drop_frame", explore_drop_index_++, 2) == 1) {
+      lost = true;
+    }
+  }
   size_t wire = packet.wire_size();
   // Serialize on the sender's NIC; deliver at the far end unless lost.
   src_it->second.nic->Transmit(

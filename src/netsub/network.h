@@ -65,6 +65,19 @@ class Network {
     loss_rng_ = Pcg32(seed);
   }
 
+  /// Exploration: exposes the placement of frame drops as simulator
+  /// choice points. Each of the next `window` frames of the given kind
+  /// asks Simulator::Choose("net.drop_frame", <frame index>, 2);
+  /// alternative 1 drops the frame after serialization, exactly where
+  /// the seeded loss process would. With no chooser installed every
+  /// choice is 0, so arming the window never perturbs a normal run.
+  /// simex enumerates the 2^window placements (budget-bounded), which
+  /// is how MiniTCP retransmit/abort timing gets explored.
+  void ExploreDrops(uint32_t window, uint16_t kind = kPacketKindTcp) {
+    explore_drop_window_ = window;
+    explore_drop_kind_ = kind;
+  }
+
   /// Administrative liveness: a down node's frames (both directions) are
   /// dropped at the fabric, modeling a machine that went dark. Nodes start
   /// up; the cluster layer flips this for hard failure injection.
@@ -94,6 +107,9 @@ class Network {
   /// between consecutive delivery events. Keyed (src<<32)|dst; only
   /// populated while a race checker is active.
   std::map<uint64_t, sim::HbChain> link_chains_;
+  uint32_t explore_drop_window_ = 0;
+  uint16_t explore_drop_kind_ = kPacketKindTcp;
+  uint64_t explore_drop_index_ = 0;
   double loss_rate_ = 0.0;
   Pcg32 loss_rng_;
   uint64_t delivered_ = 0;

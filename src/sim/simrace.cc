@@ -232,11 +232,13 @@ void RaceChecker::PrintNewReports() {
 
 void RaceChecker::Finalize() {
   if (bucket_valid_) FlushBucket();
-  PrintNewReports();
-  if (race_count_ > races_.size()) {
-    std::fprintf(stderr,
-                 "simrace: %" PRIu64 " further race(s) beyond the first %zu\n",
-                 race_count_ - races_.size(), races_.size());
+  if (!options_.quiet) {
+    PrintNewReports();
+    if (race_count_ > races_.size()) {
+      std::fprintf(
+          stderr, "simrace: %" PRIu64 " further race(s) beyond the first %zu\n",
+          race_count_ - races_.size(), races_.size());
+    }
   }
   if (!finalized_) {
     finalized_ = true;

@@ -96,6 +96,10 @@ class RaceChecker {
     bool fatal = false;
     /// Keep at most this many full reports; further races only count.
     uint32_t max_reports = 16;
+    /// Suppress the stderr report dump in Finalize(). Set by callers
+    /// that consume races() programmatically — simex runs hundreds of
+    /// deliberately-racy schedules per exploration.
+    bool quiet = false;
     /// Provenance chain depth per side.
     uint32_t max_provenance_depth = 12;
   };

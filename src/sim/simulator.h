@@ -56,6 +56,31 @@ constexpr uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// A systematic-exploration hook generalizing TieBreak: when installed
+/// (Simulator::SetChooser), every scheduling decision with more than one
+/// legal outcome is routed through it instead of the tie-key order, and
+/// components expose their own nondeterminism (fault timing, drop
+/// placement) as explicit choice points via Simulator::Choose. simex
+/// (simex.h) drives this to enumerate schedules; a recorded sequence of
+/// picks is a replay token that reproduces a run exactly.
+class ScheduleChooser {
+ public:
+  virtual ~ScheduleChooser() = default;
+
+  /// Picks which of `n` same-timestamp events runs next. `candidates`
+  /// holds the events' sequence ids in the order the active tie-break
+  /// policy would run them (index 0 = the policy's default pick), so
+  /// returning 0 everywhere reproduces the unexplored schedule.
+  virtual uint32_t ChooseTie(SimTime time, const uint64_t* candidates,
+                             uint32_t n) = 0;
+
+  /// Picks one of `n` alternatives at a component choice point. `domain`
+  /// names the choice family (e.g. "fault.fail_slot"); `id`
+  /// disambiguates instances within the family. Index 0 must be the
+  /// component's default (no-fault) alternative.
+  virtual uint32_t Choose(const char* domain, uint64_t id, uint32_t n) = 0;
+};
+
 /// Single-threaded event-driven simulator.
 class Simulator {
  public:
@@ -101,9 +126,7 @@ class Simulator {
   /// Executes the next event, if any. Returns false when idle.
   bool Step() {
     if (heap_.empty()) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), Event::Later);
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
+    Event ev = chooser_ ? PopChosen() : PopNext();
     DPDPU_CHECK(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
@@ -145,6 +168,26 @@ class Simulator {
   }
   TieBreak tie_break() const { return tie_policy_; }
 
+  /// Installs (or clears, with nullptr) the exploration hook. While set,
+  /// every Step() with two or more events tied at the minimum timestamp
+  /// asks the chooser which one runs, and component choice points route
+  /// through Choose(). Exploration runs only — the chosen-step path
+  /// rebuilds the heap per step, which the hot path must never pay.
+  void SetChooser(ScheduleChooser* chooser) { chooser_ = chooser; }
+  ScheduleChooser* chooser() const { return chooser_; }
+
+  /// Component choice point: returns the chooser's pick in [0, n), or 0
+  /// (the default alternative) when no chooser is installed. Components
+  /// must make alternative 0 the do-nothing/no-fault branch so normal
+  /// runs are unperturbed.
+  uint32_t Choose(const char* domain, uint64_t id, uint32_t n) {
+    DPDPU_CHECK(n > 0);
+    if (chooser_ == nullptr || n == 1) return 0;
+    uint32_t pick = chooser_->Choose(domain, id, n);
+    DPDPU_CHECK(pick < n);
+    return pick;
+  }
+
   /// Attaches a happens-before race checker (replacing any current one).
   /// Also enabled automatically in Debug builds and via
   /// DPDPU_SIM_RACECHECK=1; an explicit call overrides the environment.
@@ -179,6 +222,42 @@ class Simulator {
     }
   };
 
+  /// Fast path: pop the heap minimum under the tie-break policy.
+  Event PopNext() {
+    std::pop_heap(heap_.begin(), heap_.end(), Event::Later);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+  /// Exploration path: collect every event tied at the minimum
+  /// timestamp (in policy order, so pick 0 reproduces PopNext), ask the
+  /// chooser, and remove the chosen event from the middle of the heap.
+  Event PopChosen() {
+    SimTime t = heap_.front().time;
+    std::vector<size_t> ties;
+    for (size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i].time == t) ties.push_back(i);
+    }
+    size_t idx = ties[0];
+    if (ties.size() > 1) {
+      std::sort(ties.begin(), ties.end(), [this](size_t a, size_t b) {
+        return Event::Later(heap_[b], heap_[a]);
+      });
+      std::vector<uint64_t> seqs(ties.size());
+      for (size_t i = 0; i < ties.size(); ++i) seqs[i] = heap_[ties[i]].seq;
+      uint32_t pick = chooser_->ChooseTie(t, seqs.data(),
+                                          static_cast<uint32_t>(seqs.size()));
+      DPDPU_CHECK(pick < ties.size());
+      idx = ties[pick];
+    }
+    Event ev = std::move(heap_[idx]);
+    if (idx != heap_.size() - 1) heap_[idx] = std::move(heap_.back());
+    heap_.pop_back();
+    std::make_heap(heap_.begin(), heap_.end(), Event::Later);
+    return ev;
+  }
+
   uint64_t TieKey(uint64_t seq) const {
     switch (tie_policy_) {
       case TieBreak::kFifo:
@@ -197,6 +276,7 @@ class Simulator {
   uint64_t current_event_ = kNoEvent;
   TieBreak tie_policy_ = TieBreak::kFifo;
   uint64_t shuffle_seed_ = 1;
+  ScheduleChooser* chooser_ = nullptr;
   static inline uint64_t total_executed_ = 0;
   std::vector<Event> heap_;
   std::unique_ptr<RaceChecker> race_;

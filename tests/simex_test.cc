@@ -1,0 +1,262 @@
+// Tests for simex, the bounded stateless model checker: replay-token
+// round-trips, DPOR race-reversal branching, pruning of commuting ties,
+// exhaustive component-choice coverage, delta-debugging minimization,
+// and the re-find of the PR-5 PageCache tie-order race with its fix
+// (the FileService reactor serialization) absent.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fssub/page_cache.h"
+#include "sim/simex.h"
+#include "sim/simrace.h"
+#include "sim/simulator.h"
+
+namespace dpdpu::sim {
+namespace {
+
+TEST(SimexTokenTest, ReferenceRoundTrip) {
+  EXPECT_EQ(PlanToToken(Plan{}), "simex:1");
+  Plan plan;
+  ASSERT_TRUE(TokenToPlan("simex:1", &plan));
+  EXPECT_TRUE(plan.empty());
+  // All-default plans serialize to the reference token too.
+  EXPECT_EQ(PlanToToken(Plan{0, 0, 0}), "simex:1");
+}
+
+TEST(SimexTokenTest, SparseRoundTrip) {
+  Plan plan{0, 2, 0, 0, 1};
+  std::string token = PlanToToken(plan);
+  EXPECT_EQ(token, "simex:1:1=2,4=1");
+  Plan parsed;
+  ASSERT_TRUE(TokenToPlan(token, &parsed));
+  EXPECT_EQ(parsed, plan);
+}
+
+TEST(SimexTokenTest, MalformedTokensRejected) {
+  Plan plan;
+  EXPECT_FALSE(TokenToPlan("", &plan));
+  EXPECT_FALSE(TokenToPlan("simex:2:0=1", &plan));
+  EXPECT_FALSE(TokenToPlan("simex:1:0", &plan));
+  EXPECT_FALSE(TokenToPlan("simex:1:=1", &plan));
+  EXPECT_FALSE(TokenToPlan("simex:1:0=", &plan));
+  EXPECT_FALSE(TokenToPlan("simex:1:a=1", &plan));
+  EXPECT_FALSE(TokenToPlan("simex:1:0=x", &plan));
+  EXPECT_TRUE(plan.empty());
+}
+
+// Two same-timestamp writes to shared state: last writer wins, so the
+// metric depends on tie order. The reference schedule reports the race
+// (DPOR's branch source); with race_is_failure off, the reversal branch
+// must surface the bug as a metric divergence instead.
+ScenarioResult LastWriterScenario(Simulator& sim) {
+  auto winner = std::make_shared<Racy<int>>("test.winner");
+  sim.Schedule(100, [winner] { winner->write() = 1; });
+  sim.Schedule(100, [winner] { winner->write() = 2; });
+  sim.Run();
+  ScenarioResult r;
+  r.metrics = "winner=" + std::to_string(winner->read()) + "\n";
+  return r;
+}
+
+TEST(SimexExploreTest, RaceIsAFailureByDefault) {
+  Explorer ex(LastWriterScenario);
+  EXPECT_FALSE(ex.Explore());
+  ASSERT_FALSE(ex.failures().empty());
+  EXPECT_EQ(ex.failures()[0].kind, "race");
+  // The reference schedule already exhibits it.
+  EXPECT_EQ(ex.failures()[0].token, "simex:1");
+}
+
+TEST(SimexExploreTest, DporReversalFindsMetricDivergence) {
+  ExploreOptions options;
+  options.race_is_failure = false;
+  Explorer ex(LastWriterScenario, options);
+  EXPECT_FALSE(ex.Explore());
+  ASSERT_FALSE(ex.failures().empty());
+  const ExploreFailure& f = ex.failures()[0];
+  EXPECT_EQ(f.kind, "metric-divergence");
+  EXPECT_NE(f.detail.find("winner=2"), std::string::npos);
+  EXPECT_NE(f.detail.find("winner=1"), std::string::npos);
+  // Exactly one reversal branch: the reference plus the flipped tie.
+  EXPECT_EQ(ex.stats().tie_branches, 1u);
+  // The trace replays and renders the flipped decision.
+  std::string trace = ex.FormatTrace(f);
+  EXPECT_NE(trace.find(f.token), std::string::npos);
+  EXPECT_NE(trace.find("tie@t=100ns"), std::string::npos);
+}
+
+// Eight same-timestamp events bumping *independent* counters commute:
+// no races, so DPOR must prune the entire 8!-schedule space down to the
+// single reference run.
+TEST(SimexExploreTest, CommutingTiesArePruned) {
+  auto scenario = [](Simulator& sim) {
+    auto counters = std::make_shared<std::vector<int>>(8, 0);
+    for (int i = 0; i < 8; ++i) {
+      sim.Schedule(10, [counters, i] { (*counters)[i]++; });
+    }
+    sim.Run();
+    ScenarioResult r;
+    r.metrics = "sum=8\n";
+    return r;
+  };
+  Explorer ex(scenario);
+  EXPECT_TRUE(ex.Explore());
+  EXPECT_EQ(ex.stats().schedules_run, 1u);
+  EXPECT_EQ(ex.stats().tie_branches, 0u);
+  // Naive enumeration would walk 8! = 40320 schedules; the explorer's
+  // naive_log10 counts the per-decision fan-out product (8 * 7 * ...).
+  EXPECT_GT(ex.stats().naive_log10, 4.0);
+  EXPECT_GT(ex.stats().pruning_factor, 10.0);
+}
+
+// A component choice point with a bug on a non-default alternative:
+// fifo/lifo/shuffle never take it (they only permute ties); the
+// explorer must enumerate it and report the scenario invariant.
+TEST(SimexExploreTest, FaultChoicePointsAreEnumerated) {
+  auto scenario = [](Simulator& sim) {
+    ScenarioResult r;
+    uint32_t pick = sim.Choose("fault.slot", 7, 4);
+    sim.Schedule(10, [] {});
+    sim.Run();
+    if (pick == 3) {
+      r.ok = false;
+      r.failure = "ack lost when the fault lands in slot 3";
+    }
+    r.metrics = "pick=" + std::to_string(pick) + "\n";
+    return r;
+  };
+  Explorer ex(scenario);
+  EXPECT_FALSE(ex.Explore());
+  ASSERT_FALSE(ex.failures().empty());
+  const ExploreFailure& f = ex.failures()[0];
+  EXPECT_EQ(f.kind, "invariant");
+  EXPECT_EQ(f.token, "simex:1:0=3");
+  EXPECT_NE(f.detail.find("slot 3"), std::string::npos);
+  EXPECT_EQ(ex.stats().choice_points, 1u);
+  EXPECT_EQ(ex.stats().fault_branches, 3u);
+}
+
+// Metric equality must not be enforced across different fault picks:
+// injecting a fault legitimately changes metrics, and flagging that as
+// divergence would drown real schedule sensitivity in noise.
+TEST(SimexExploreTest, MetricEqualitySkippedAcrossFaultPicks) {
+  auto scenario = [](Simulator& sim) {
+    ScenarioResult r;
+    uint32_t pick = sim.Choose("fault.slot", 0, 3);
+    sim.Run();
+    r.metrics = "completed=" + std::to_string(100 - 10 * pick) + "\n";
+    return r;
+  };
+  Explorer ex(scenario);
+  EXPECT_TRUE(ex.Explore());
+  EXPECT_EQ(ex.stats().schedules_run, 3u);
+}
+
+// Minimization: three choice points, only the middle one matters. A
+// deliberately fat failing plan must shrink to the single essential
+// pick.
+TEST(SimexMinimizeTest, ShrinksToEssentialChoices) {
+  auto scenario = [](Simulator& sim) {
+    uint32_t a = sim.Choose("knob.a", 0, 2);
+    uint32_t b = sim.Choose("knob.b", 0, 2);
+    uint32_t c = sim.Choose("knob.c", 0, 2);
+    sim.Run();
+    ScenarioResult r;
+    if (b == 1) {
+      r.ok = false;
+      r.failure = "knob.b=1 violates the invariant";
+    }
+    r.metrics = "a=" + std::to_string(a) + " c=" + std::to_string(c) + "\n";
+    return r;
+  };
+  Explorer ex(scenario);
+  ExploreFailure fat;
+  fat.plan = Plan{1, 1, 1};
+  fat.token = PlanToToken(fat.plan);
+  fat.kind = "invariant";
+  ex.Minimize(&fat);
+  EXPECT_EQ(fat.plan, (Plan{0, 1}));
+  EXPECT_EQ(fat.token, "simex:1:1=1");
+  EXPECT_NE(fat.detail.find("knob.b=1"), std::string::npos);
+}
+
+TEST(SimexMinimizeTest, IrreducibleFailureKeepsItsPlan) {
+  auto scenario = [](Simulator& sim) {
+    uint32_t pick = sim.Choose("knob", 0, 2);
+    sim.Run();
+    ScenarioResult r;
+    if (pick == 1) {
+      r.ok = false;
+      r.failure = "knob=1";
+    }
+    return r;
+  };
+  Explorer ex(scenario);
+  ExploreFailure f;
+  f.plan = Plan{1};
+  f.token = PlanToToken(f.plan);
+  f.kind = "invariant";
+  ex.Minimize(&f);
+  EXPECT_EQ(f.plan, Plan{1});
+  EXPECT_EQ(f.detail, "knob=1");
+}
+
+// The PR-5 bug, fix reverted in-harness: FileService now serializes all
+// its events on a reactor HbChain (the SPDK single-reactor model); this
+// scenario drives the PageCache from two causally-unordered events at
+// one timestamp — exactly the pre-fix schedule shape — and simex must
+// re-find the hit/miss race that motivated the chain.
+TEST(SimexExploreTest, RefindsPageCacheTieOrderRace) {
+  auto scenario = [](Simulator& sim) {
+    auto cache = std::make_shared<fssub::PageCache>(1 << 20);
+    auto hits = std::make_shared<int>(0);
+    sim.Schedule(100, [cache, hits] {
+      if (cache->Get(fssub::PageKey{1, 0}) != nullptr) ++*hits;
+    });
+    sim.Schedule(100, [cache] {
+      cache->Put(fssub::PageKey{1, 0}, Buffer(4096));
+    });
+    sim.Run();
+    ScenarioResult r;
+    r.metrics = "hits=" + std::to_string(*hits) + "\n";
+    return r;
+  };
+  ExploreOptions options;
+  options.race_is_failure = false;  // force the divergence path too
+  Explorer ex(scenario, options);
+  EXPECT_FALSE(ex.Explore());
+  ASSERT_FALSE(ex.failures().empty());
+  EXPECT_EQ(ex.failures()[0].kind, "metric-divergence");
+  EXPECT_NE(ex.failures()[0].detail.find("hits="), std::string::npos);
+
+  // And with the race invariant on, the reference run itself reports
+  // the page-cache race with provenance.
+  Explorer ex2{Scenario(scenario)};
+  EXPECT_FALSE(ex2.Explore());
+  ASSERT_FALSE(ex2.failures().empty());
+  EXPECT_EQ(ex2.failures()[0].kind, "race");
+  std::string trace = ex2.FormatTrace(ex2.failures()[0]);
+  EXPECT_NE(trace.find("PageCache"), std::string::npos);
+  EXPECT_NE(trace.find("provenance"), std::string::npos);
+}
+
+// Replay determinism: the same plan always yields the same record.
+TEST(SimexExploreTest, ReplayIsDeterministic) {
+  ExploreOptions options;
+  options.race_is_failure = false;
+  Explorer ex(LastWriterScenario, options);
+  ASSERT_FALSE(ex.Explore());
+  ASSERT_FALSE(ex.failures().empty());
+  Plan plan = ex.failures()[0].plan;
+  RunRecord a = ex.Run(plan);
+  RunRecord b = ex.Run(plan);
+  EXPECT_EQ(a.result.metrics, b.result.metrics);
+  EXPECT_EQ(a.effective, b.effective);
+  EXPECT_EQ(a.race_count, b.race_count);
+}
+
+}  // namespace
+}  // namespace dpdpu::sim

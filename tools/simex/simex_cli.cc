@@ -1,0 +1,301 @@
+// simex CLI: systematic schedule & fault exploration for the DPDPU
+// simulator. Wraps sim::Explorer around a set of built-in scenario
+// targets, each pairing a workload with its invariant set:
+//
+//   minitcp         two-node MiniTCP bulk transfer with frame-drop
+//                   placement choice points; invariants: exact payload
+//                   delivery despite any drop placement, race-free.
+//   fleet           small fleet (consistency layer on) under a mixed
+//                   read/write workload with node fail/recover timing
+//                   choice points; invariants: every op completes, no
+//                   stale reads, race-free, metric-equality vs the
+//                   reference schedule.
+//   pagecache-race  the PR-5 page-cache tie-order bug with its fix
+//                   (FileService reactor serialization) reverted
+//                   in-harness; MUST fail — used as the CI self-test
+//                   that the explorer still finds real bugs.
+//
+// Exit codes: 0 = explored clean, 1 = invariant violation found
+// (minimized trace on stdout), 2 = usage error. The trailing
+// `simex-json:` line is machine-readable for scripts/check_bench.py.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "cluster/simex_faults.h"
+#include "cluster/workload.h"
+#include "fssub/page_cache.h"
+#include "hw/machine.h"
+#include "kern/textgen.h"
+#include "netsub/minitcp.h"
+#include "netsub/network.h"
+#include "sim/simex.h"
+
+namespace dpdpu {
+namespace {
+
+using sim::ExploreOptions;
+using sim::Explorer;
+using sim::Plan;
+using sim::Scenario;
+using sim::ScenarioResult;
+using sim::Simulator;
+
+// --------------------------------------------------------------------------
+// Targets.
+// --------------------------------------------------------------------------
+
+ScenarioResult MiniTcpScenario(Simulator& sim) {
+  auto nic_a = std::make_unique<hw::NicPort>(&sim, "a",
+                                             hw::NicSpec{100e9, 2000, 4096});
+  auto nic_b = std::make_unique<hw::NicPort>(&sim, "b",
+                                             hw::NicSpec{100e9, 2000, 4096});
+  netsub::Network net(&sim);
+  netsub::TcpStack stack_a(&sim, &net, 1);
+  netsub::TcpStack stack_b(&sim, &net, 2);
+  net.Attach(1, nic_a.get(),
+             [&](netsub::Packet p) { stack_a.OnPacket(std::move(p)); });
+  net.Attach(2, nic_b.get(),
+             [&](netsub::Packet p) { stack_b.OnPacket(std::move(p)); });
+  // Up to three of the first TCP frames may be dropped, one choice
+  // point each — covering SYN, first data segment, and ack loss.
+  net.ExploreDrops(3);
+
+  Buffer sent = kern::GenerateText(64 << 10, {});
+  Buffer received;
+  netsub::TcpConnection* server = nullptr;
+  stack_b.Listen(80, [&](netsub::TcpConnection* c) {
+    server = c;
+    c->SetReceiveCallback([&](ByteSpan d) { received.Append(d); });
+  });
+  netsub::TcpConnection* client = stack_a.Connect(2, 80);
+  client->Send(sent.span());
+  sim.Run();
+
+  ScenarioResult r;
+  if (received.size() != sent.size() || !(received == sent)) {
+    r.ok = false;
+    r.failure = "payload corrupted or lost: received " +
+                std::to_string(received.size()) + " of " +
+                std::to_string(sent.size()) + " bytes";
+  }
+  // Retransmission count varies with drop placement, so it is not a
+  // metric; delivered payload is the invariant.
+  r.metrics = "delivered_bytes=" + std::to_string(received.size()) + "\n";
+  return r;
+}
+
+ScenarioResult FleetScenario(Simulator& sim) {
+  using namespace cluster;
+  FleetSpec spec;
+  spec.storage_servers = 2;
+  spec.clients = 2;
+  spec.routing.replication = 2;
+  spec.consistency.enabled = true;
+  spec.shard_bytes = 1 << 20;
+  spec.storage_template.fs_device_blocks = 2048;
+  spec.client_template.fs_device_blocks = 1024;
+  Fleet fleet(&sim, spec);
+
+  WorkloadOptions options;
+  options.keyspace = 128;
+  options.read_fraction = 0.75;
+  options.retry_timeout = 2 * sim::kMillisecond;
+  std::vector<std::unique_ptr<FleetClient>> owned;
+  std::vector<FleetClient*> clients;
+  for (uint32_t i = 0; i < fleet.clients(); ++i) {
+    owned.push_back(std::make_unique<FleetClient>(&fleet, i, options));
+    clients.push_back(owned.back().get());
+  }
+
+  // Node 1 may fail gracefully at 1 ms or 3 ms into the run, and may
+  // recover 2 ms later — five fault branches (incl. no-fault) whose
+  // stale-read/lost-ack behavior the explorer checks one by one.
+  FaultSchedule faults(&fleet);
+  FaultScheduleOptions fault;
+  fault.node = 1;
+  fault.fail_times = {1 * sim::kMillisecond, 3 * sim::kMillisecond};
+  fault.recover_after = {2 * sim::kMillisecond};
+  faults.Arm(fault);
+
+  ClosedLoopDriver driver(clients, 2, 48);
+  driver.Start();
+  sim.Run();
+
+  FleetWorkloadSummary summary = Summarize(clients);
+  ScenarioResult r;
+  if (summary.totals.completed != summary.totals.issued) {
+    r.ok = false;
+    r.failure = "lost acks: " + std::to_string(summary.totals.issued) +
+                " issued, " + std::to_string(summary.totals.completed) +
+                " completed, " + std::to_string(summary.totals.failed) +
+                " failed";
+  } else if (summary.totals.stale_reads != 0) {
+    r.ok = false;
+    r.failure = "stale reads: " + std::to_string(summary.totals.stale_reads);
+  }
+  r.metrics = "issued=" + std::to_string(summary.totals.issued) +
+              "\ncompleted=" + std::to_string(summary.totals.completed) +
+              "\nfailed=" + std::to_string(summary.totals.failed) +
+              "\nstale_reads=" + std::to_string(summary.totals.stale_reads) +
+              "\n";
+  return r;
+}
+
+// The PR-5 bug shape with its fix reverted in-harness: the FileService
+// now serializes every async completion on one reactor HbChain, so a
+// page-cache Get and Put can no longer collide at one timestamp from
+// causally-unordered events. Driving the cache directly — without the
+// chain — recreates the pre-fix schedule and simex must find the race.
+ScenarioResult PageCacheRaceScenario(Simulator& sim) {
+  auto cache = std::make_shared<fssub::PageCache>(1 << 20);
+  auto hits = std::make_shared<int>(0);
+  sim.Schedule(100, [cache, hits] {
+    if (cache->Get(fssub::PageKey{1, 0}) != nullptr) ++*hits;
+  });
+  sim.Schedule(100,
+               [cache] { cache->Put(fssub::PageKey{1, 0}, Buffer(4096)); });
+  sim.Run();
+  ScenarioResult r;
+  r.metrics = "hits=" + std::to_string(*hits) + "\n";
+  return r;
+}
+
+struct Target {
+  const char* name;
+  const char* description;
+  Scenario (*make)();
+};
+
+const Target kTargets[] = {
+    {"minitcp", "MiniTCP bulk transfer under frame-drop placement",
+     [] { return Scenario(MiniTcpScenario); }},
+    {"fleet", "small fleet under node fail/recover timing",
+     [] { return Scenario(FleetScenario); }},
+    {"pagecache-race", "PR-5 page-cache tie-order bug, fix reverted (MUST fail)",
+     [] { return Scenario(PageCacheRaceScenario); }},
+};
+
+// --------------------------------------------------------------------------
+// Driver.
+// --------------------------------------------------------------------------
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: simex --target=NAME [--budget=N] [--depth=N] [--token=TOK]\n"
+      "             [--no-race-invariant] [--no-metric-invariant]\n"
+      "             [--no-minimize] [--list]\n");
+}
+
+int Main(int argc, char** argv) {
+  std::string target_name;
+  std::string token;
+  ExploreOptions options;
+  options.max_schedules = 64;
+  bool minimize = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--target=")) {
+      target_name = v;
+    } else if (const char* v = value("--budget=")) {
+      options.max_schedules = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--depth=")) {
+      options.max_branch_depth = uint32_t(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--token=")) {
+      token = v;
+    } else if (arg == "--no-race-invariant") {
+      options.race_is_failure = false;
+    } else if (arg == "--no-metric-invariant") {
+      options.check_metrics = false;
+    } else if (arg == "--no-minimize") {
+      minimize = false;
+    } else if (arg == "--list") {
+      for (const Target& t : kTargets) {
+        std::printf("%-16s %s\n", t.name, t.description);
+      }
+      return 0;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  const Target* target = nullptr;
+  for (const Target& t : kTargets) {
+    if (target_name == t.name) target = &t;
+  }
+  if (target == nullptr) {
+    Usage();
+    return 2;
+  }
+
+  Explorer explorer(target->make(), options);
+
+  if (!token.empty()) {
+    Plan plan;
+    if (!sim::TokenToPlan(token, &plan)) {
+      std::fprintf(stderr, "simex: malformed token '%s'\n", token.c_str());
+      return 2;
+    }
+    sim::ExploreFailure replay;
+    replay.plan = plan;
+    replay.token = sim::PlanToToken(plan);
+    sim::RunRecord rec = explorer.Run(plan);
+    replay.kind = rec.result.ok ? "replay" : "invariant";
+    replay.detail = rec.result.ok ? "schedule replayed" : rec.result.failure;
+    std::fputs(explorer.FormatTrace(replay).c_str(), stdout);
+    std::printf("simex: metrics:\n%s", rec.result.metrics.c_str());
+    return rec.result.ok && rec.race_count == 0 ? 0 : 1;
+  }
+
+  bool clean = explorer.Explore();
+  const sim::ExploreStats& stats = explorer.stats();
+  std::printf("simex: target=%s budget=%llu\n", target->name,
+              (unsigned long long)options.max_schedules);
+  std::printf(
+      "simex: schedules=%llu tie_points=%llu choice_points=%llu "
+      "tie_branches=%llu fault_branches=%llu deduped=%llu\n",
+      (unsigned long long)stats.schedules_run,
+      (unsigned long long)stats.tie_points,
+      (unsigned long long)stats.choice_points,
+      (unsigned long long)stats.tie_branches,
+      (unsigned long long)stats.fault_branches,
+      (unsigned long long)stats.deduped);
+  std::printf("simex: naive ~1e%.1f schedules, pruning factor ~%.3gx%s\n",
+              stats.naive_log10, stats.pruning_factor,
+              stats.naive_log10 - std::log10(double(std::max<uint64_t>(
+                                      1, stats.schedules_run))) >
+                      15.0
+                  ? " (capped)"
+                  : "");
+
+  for (const sim::ExploreFailure& found : explorer.failures()) {
+    sim::ExploreFailure failure = found;
+    if (minimize) explorer.Minimize(&failure);
+    std::fputs(explorer.FormatTrace(failure).c_str(), stdout);
+  }
+  std::printf(
+      "simex-json: {\"target\": \"%s\", \"schedules\": %llu, "
+      "\"naive_log10\": %.2f, \"pruning_factor\": %.6g, "
+      "\"failures\": %zu}\n",
+      target->name, (unsigned long long)stats.schedules_run,
+      stats.naive_log10, stats.pruning_factor, explorer.failures().size());
+  std::printf("simex: %s\n", clean ? "PASS" : "FAIL");
+  return clean ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dpdpu
+
+int main(int argc, char** argv) { return dpdpu::Main(argc, argv); }

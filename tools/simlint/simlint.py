@@ -39,6 +39,15 @@ Rules:
                              its fire time. Both have legitimate uses —
                              every one needs a reasoned allow naming the
                              lifetime/ordering guarantee.
+  R7  shared-rng-in-callback a Pcg32 captured by reference into a lambda
+                             and drawn there. Callbacks fire in event
+                             order, so a generator shared across request
+                             streams keys its draw *sequence* to
+                             same-timestamp tie-breaking — exactly the
+                             drift --perturb and simex then report as a
+                             schedule dependence. Derive a per-request
+                             generator instead:
+                             Pcg32(SplitMix64(seed ^ stream ^ counter)).
 
 Suppression:
   * inline, same or previous line:  // simlint:allow(R1): <reason>
@@ -72,6 +81,7 @@ RULES = {
     "R5": "uninitialized trivially-typed field in a Config/Options/Spec",
     "R6": "same-timestamp scheduling / raw-`this` capture in a scheduled "
           "callback",
+    "R7": "shared Pcg32 drawn inside a by-reference lambda capture",
 }
 
 
@@ -155,7 +165,7 @@ def strip_comments_and_strings(text):
 # ---------------------------------------------------------------------------
 
 INLINE_ALLOW = re.compile(
-    r"simlint:\s*allow\((R[1-6])\)\s*(?::\s*(.*?))?\s*$")
+    r"simlint:\s*allow\((R[1-7])\)\s*(?::\s*(.*?))?\s*$")
 
 
 def inline_suppressions(original_text, path, errors):
@@ -478,10 +488,89 @@ def check_r6(path, stripped, report):
 
 
 # ---------------------------------------------------------------------------
+# R7: a shared Pcg32 drawn inside a by-reference lambda capture. The draw
+# *sequence* of a generator shared across callbacks is keyed to the order
+# those callbacks fire — i.e. to same-timestamp tie-breaking — which is
+# exactly the drift --perturb and simex report as a schedule dependence.
+# Copy captures are fine (each closure owns an independent stream), and so
+# is a generator declared inside the lambda (the per-request
+# Pcg32(SplitMix64(seed ^ stream ^ counter)) pattern).
+# ---------------------------------------------------------------------------
+
+R7_GENERATOR_DECL = re.compile(r"\bPcg32\s+(\w+)\s*[({=;]")
+# A lambda introducer: `[` not preceded by an identifier/`)`/`]` (which
+# would make it a subscript), then optional params / mutable / return
+# type, then the body brace.
+R7_LAMBDA = re.compile(
+    r"(?<![\w)\]])\[([^\[\]]*)\]\s*(?:\([^()]*\))?\s*"
+    r"(?:mutable\s*)?(?:noexcept\s*)?(?:->[^{;]*?)?\{")
+
+
+def _captures_by_ref(capture, name):
+    items = [item.strip() for item in capture.split(",") if item.strip()]
+    if "&" + name in items:
+        return True
+    if "&" in items:
+        # Default ref capture applies unless the name is an explicit
+        # copy item (`rng` or an init-capture `rng = ...`).
+        for item in items:
+            if item == name or re.match(rf"{re.escape(name)}\s*=", item):
+                return False
+        return True
+    return False
+
+
+def check_r7(path, stripped, report):
+    decls = {}  # name -> [decl offsets]
+    for m in R7_GENERATOR_DECL.finditer(stripped):
+        decls.setdefault(m.group(1), []).append(m.start())
+    if not decls:
+        return
+    lambdas = []  # (capture list, body start, body end)
+    for m in R7_LAMBDA.finditer(stripped):
+        open_idx = m.end() - 1
+        lambdas.append((m.group(1), open_idx, match_brace(stripped, open_idx)))
+    if not lambdas:
+        return
+    names = "|".join(re.escape(n) for n in sorted(decls))
+    # Draws: `rng.NextFoo(...)` and the pass-a-generator form
+    # `zipf.Next(rng)` / `Shuffle(v, rng)`.
+    draw = re.compile(
+        rf"\b({names})\s*\.\s*Next\w*\s*\(|"
+        rf"\.\s*Next\w*\s*\(\s*({names})\s*[,)]")
+    seen = set()
+    for m in draw.finditer(stripped):
+        name = m.group(1) or m.group(2)
+        pos = m.start()
+        for capture, body_start, body_end in lambdas:
+            if not body_start < pos < body_end:
+                continue
+            # Declared inside this lambda (per-request generator): clean.
+            if any(body_start < d < body_end for d in decls[name]):
+                continue
+            if not _captures_by_ref(capture, name):
+                continue
+            lineno = stripped.count("\n", 0, pos) + 1
+            if (lineno, name) in seen:
+                break
+            seen.add((lineno, name))
+            report(Violation(
+                path, lineno, "R7",
+                f"Pcg32 '{name}' is drawn inside a by-reference lambda "
+                "capture: callbacks fire in event order, so the draw "
+                "sequence depends on same-timestamp tie-breaking — derive "
+                "a per-request generator "
+                "(Pcg32(SplitMix64(seed ^ stream ^ counter))) or draw "
+                "before scheduling"))
+            break
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
-CHECKS = [check_r1, check_r2, check_r3, check_r4, check_r5, check_r6]
+CHECKS = [check_r1, check_r2, check_r3, check_r4, check_r5, check_r6,
+          check_r7]
 
 
 def lint_text(path, text, file_allow=None, errors=None,

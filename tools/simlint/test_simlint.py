@@ -309,6 +309,100 @@ class R6Test(unittest.TestCase):
         self.assertEqual(lint(text), [])
 
 
+class R7Test(unittest.TestCase):
+    def test_draw_in_ref_captured_callback_fires(self):
+        text = """
+        void Run() {
+          Pcg32 rng(11);
+          sim.ScheduleAt(at, [&rng, &done] {
+            uint64_t offset = rng.NextBounded(4000) * 8192;
+          });
+        }
+        """
+        violations = lint(text)
+        self.assertEqual(rules_of(violations), ["R7"])
+        self.assertIn("'rng'", violations[0].message)
+
+    def test_default_ref_capture_fires(self):
+        text = """
+        void Run() {
+          Pcg32 rng(3);
+          issue = [&] {
+            if (rng.NextDouble() < 0.5) Read();
+          };
+        }
+        """
+        self.assertEqual(rules_of(lint(text)), ["R7"])
+
+    def test_generator_passed_to_zipf_fires(self):
+        text = """
+        void Run() {
+          Pcg32 rng(13);
+          ZipfGenerator zipf(4000, 0.99);
+          issue = [&] {
+            uint64_t key = zipf.Next(rng);
+          };
+        }
+        """
+        self.assertEqual(rules_of(lint(text)), ["R7"])
+
+    def test_per_request_generator_inside_lambda_is_clean(self):
+        text = """
+        void Run() {
+          issue = [&] {
+            Pcg32 rng(sim::SplitMix64(seed ^ uint64_t(next++)));
+            uint64_t key = rng.NextBounded(4000);
+          };
+        }
+        """
+        self.assertEqual(lint(text), [])
+
+    def test_draw_at_schedule_time_is_clean(self):
+        text = """
+        void Run() {
+          Pcg32 rng(11);
+          for (uint64_t i = 0; i < total; ++i) {
+            uint64_t offset = rng.NextBounded(4000) * 8192;
+            sim.ScheduleAt(at, [offset] { Read(offset); });
+          }
+        }
+        """
+        self.assertEqual(lint(text), [])
+
+    def test_copy_capture_is_clean(self):
+        # A copy is an independent stream per closure: deterministic.
+        for capture in ["rng", "&, rng", "rng = rng"]:
+            text = f"""
+            void Run() {{
+              Pcg32 rng(5);
+              cb = [{capture}]() mutable {{ rng.NextDouble(); }};
+            }}
+            """
+            with self.subTest(capture=capture):
+                self.assertEqual(lint(text), [])
+
+    def test_subscript_is_not_a_lambda(self):
+        text = """
+        void Run() {
+          Pcg32 rng(5);
+          uint64_t x = table[idx] + rng.NextBounded(7);
+        }
+        """
+        self.assertEqual(lint(text), [])
+
+    def test_allow_with_reason_suppresses(self):
+        text = """
+        void Run() {
+          Pcg32 rng(7);
+          helper = [&](int n) {
+            // simlint:allow(R7): synchronous helper, draws not scheduled
+            uint64_t k = rng.NextBounded(100);
+          };
+        }
+        """
+        self.assertEqual(lint(text), [])
+
+
 class StaleSuppressionTest(unittest.TestCase):
     def test_unused_inline_allow_is_flagged(self):
         text = ("// simlint:allow(R1): left behind after a refactor\n"
