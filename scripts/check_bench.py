@@ -316,11 +316,21 @@ def perturb_selftest(build_dir):
 
 # (target, smoke budget, expect_clean). pagecache-race is the seeded-bug
 # self-test: the explorer must fail it, proving the exploration gate can
-# still see a real schedule bug (mirrors --perturb-selftest).
+# still see a real schedule bug (mirrors --perturb-selftest). The
+# cluster-* scenarios gate the consistency layer's failover flows (see
+# src/cluster/simex_scenarios.cc); each found at least one real bug
+# pre-fix, so they must stay clean. Budgets cover the full fault-branch
+# fan-out of each scenario at smoke scale; nightly (16x) re-covers them
+# with headroom for deeper tie reversals.
 EXPLORE_TARGETS = (
     ("minitcp", 64, True),
     ("fleet", 48, True),
     ("pagecache-race", 16, False),
+    ("cluster-handoff", 16, True),
+    ("cluster-hint-overflow", 16, True),
+    ("cluster-catchup-readmit", 16, True),
+    ("cluster-refail", 64, True),
+    ("cluster-writeonly-ack", 32, True),
 )
 
 

@@ -39,7 +39,11 @@ void ConsistencyManager::Commit(uint64_t offset, uint64_t version) {
                    sim::RaceKey(kRaceSaltCommitted, offset),
                    sim::AccessKind::kCommutativeWrite);
   AuthorityEntry& entry = authority_[offset];
-  entry.committed = std::max(entry.committed, version);
+  if (version > entry.next_version) ++stats_.phantom_commits;
+  if (version > entry.committed) {
+    entry.committed = version;
+    ++stats_.commits;
+  }
 }
 
 uint64_t ConsistencyManager::CommittedVersion(uint64_t offset) const {
@@ -56,9 +60,15 @@ uint64_t ConsistencyManager::CommittedVersion(uint64_t offset) const {
 
 void ConsistencyManager::QueueHint(uint32_t node_index, uint64_t offset,
                                    uint64_t version, Buffer data) {
+  // Keyed per (node, block) and commutative: the coalesce below keeps
+  // the max version regardless of arrival order, so two unordered hints
+  // for one block converge. Cross-block arrival order only matters for
+  // *which* block is rejected when the queue is at capacity — inherent
+  // bounded-queue nondeterminism the diff fallback absorbs, deliberately
+  // not reported as a race.
   DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
-                   sim::RaceKey(kRaceSaltHints, node_index),
-                   sim::AccessKind::kWrite);
+                   sim::RaceKey(kRaceSaltHints, sim::RaceKey(node_index, offset)),
+                   sim::AccessKind::kCommutativeWrite);
   std::deque<Hint>& queue = hints_[node_index];
   // Coalesce per block: only the newest version matters for replay, so
   // a re-written block updates its hint in place. This bounds the queue
@@ -130,10 +140,17 @@ struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
   ConsistencyManager* cm = nullptr;
   Fleet* fleet = nullptr;
   uint32_t node_index = 0;
+  uint64_t epoch = 0;  // recover_epoch at start; a bump means re-failure
   std::function<void()> done;
 
   std::deque<ConsistencyManager::Hint> hints;
   std::deque<DiffItem> diff;
+  // Quiescence state: at Finish the job re-diffs the authority against
+  // the node until a pass copies nothing — catching hints that arrived
+  // (or were handed back by an aborted transfer) while this one ran.
+  uint32_t verify_rounds = 0;
+  uint64_t copied_at_round_start = 0;
+  static constexpr uint32_t kMaxVerifyRounds = 8;
 
   std::unique_ptr<se::RemoteStorageClient> to_node;
   std::map<netsub::NodeId, std::unique_ptr<se::RemoteStorageClient>>
@@ -174,7 +191,62 @@ struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
     }
   }
 
+  bool Aborted() const {
+    return fleet->recover_epoch(node_index) != epoch;
+  }
+
+  uint64_t step_ = 0;  // bumped when the in-flight RPC completes/times out
+
+  // Watchdog for the RPC about to be issued: a request TCP has fully
+  // acked before its target goes dark never stalls the connection, so
+  // the retransmission cap cannot fire and no response ever arrives.
+  // Without this bound the transfer wedges forever and its unreplayed
+  // hints leak with it. On expiry the wedged connections are dropped
+  // and `resume` continues the job (which re-checks Aborted()).
+  uint64_t ArmWatchdog(std::function<void()> resume) {
+    uint64_t seq = ++step_;
+    fleet->simulator()->Schedule(
+        cm->options_.catchup_rpc_timeout,
+        [self = shared_from_this(), seq, resume = std::move(resume)] {
+          if (self->step_ != seq) return;  // RPC finished in time
+          ++self->step_;
+          ++self->cm->stats_.catchup_rpc_timeouts;
+          self->to_node.reset();
+          self->donors.clear();
+          resume();
+        });
+    return seq;
+  }
+
+  // False when the watchdog already gave up on this RPC: the late
+  // completion (or failure) must not double-advance the job.
+  bool StepDone(uint64_t seq) {
+    if (step_ != seq) return false;
+    ++step_;
+    return true;
+  }
+
+  // The node went dark again mid-transfer. Hand the unreplayed hints
+  // back so the next recovery replays them (they were counted queued
+  // once; returning them keeps the conservation law exact), and stand
+  // down — the matching done-callback is epoch-guarded in Fleet and
+  // will not re-admit. Remaining diff items need no hand-back: the next
+  // recovery's verification pass recomputes them from the authority.
+  void Abort() {
+    std::deque<ConsistencyManager::Hint>& queue = cm->hints_[node_index];
+    while (!hints.empty()) {
+      queue.push_front(std::move(hints.back()));
+      hints.pop_back();
+    }
+    ++cm->stats_.catchups_aborted;
+    if (done) done();
+  }
+
   void ReplayNextHint() {
+    if (Aborted()) {
+      Abort();
+      return;
+    }
     if (hints.empty()) {
       Finish();
       return;
@@ -183,15 +255,22 @@ struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
     hints.pop_front();
     ++cm->stats_.hints_replayed;
     cm->stats_.hint_bytes += hint.data.size();
+    uint64_t seq = ArmWatchdog(
+        [self = shared_from_this()] { self->ReplayNextHint(); });
     NodeClient()->WriteVersioned(
         fleet->shard_file(node_index), hint.offset, hint.version,
-        std::move(hint.data), [self = shared_from_this()](Status s) {
+        std::move(hint.data), [self = shared_from_this(), seq](Status s) {
+          if (!self->StepDone(seq)) return;
           if (!s.ok()) ++self->cm->stats_.catchup_write_failures;
           self->ReplayNextHint();
         });
   }
 
   void CopyNextDiff() {
+    if (Aborted()) {
+      Abort();
+      return;
+    }
     if (diff.empty()) {
       Finish();
       return;
@@ -220,10 +299,15 @@ struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
     netsub::NodeId donor = candidates[index];
     fssub::FileId donor_file =
         fleet->shard_file(fleet->storage_index(donor));
+    uint64_t seq = ArmWatchdog(
+        [self = shared_from_this(), item, candidates, index]() mutable {
+          self->TryDonor(item, std::move(candidates), index + 1);
+        });
     DonorClient(donor)->ReadVersioned(
         donor_file, item.offset, item.length,
-        [self = shared_from_this(), item, candidates, index](
+        [self = shared_from_this(), item, candidates, index, seq](
             Result<Buffer> data, uint64_t version) mutable {
+          if (!self->StepDone(seq)) return;
           if (!data.ok() || version < item.committed) {
             // Donor is behind (or unreachable): try the next replica.
             self->TryDonor(item, std::move(candidates), index + 1);
@@ -231,17 +315,75 @@ struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
           }
           ++self->cm->stats_.diff_blocks_copied;
           self->cm->stats_.diff_bytes += data->size();
+          uint64_t wseq = self->ArmWatchdog(
+              [self] { self->CopyNextDiff(); });
           self->NodeClient()->WriteVersioned(
               self->fleet->shard_file(self->node_index), item.offset,
               version, std::move(*data),
-              [self](Status s) {
+              [self, wseq](Status s) {
+                if (!self->StepDone(wseq)) return;
                 if (!s.ok()) ++self->cm->stats_.catchup_write_failures;
                 self->CopyNextDiff();
               });
         });
   }
 
+  // Any block the authority has committed past what the node durably
+  // holds. Catches hints an earlier aborted transfer consumed without
+  // landing, and unrepaired blocks whose donors have since recovered.
+  void BuildLagDiff() {
+    const se::VersionMap& local =
+        fleet->storage(node_index).storage().versions();
+    fssub::FileId file = fleet->shard_file(node_index);
+    netsub::NodeId self_id = fleet->storage_node_id(node_index);
+    for (const auto& [offset, entry] : cm->authority_) {
+      if (entry.committed == 0) continue;
+      if (local.Lookup(file, offset) >= entry.committed) continue;
+      // Only blocks this node replicates: the authority is fleet-wide,
+      // the node's shard holds just its preference-list keys.
+      bool owned = false;
+      for (netsub::NodeId server :
+           fleet->router().PreferenceList(HashU64(entry.key))) {
+        if (server == self_id) {
+          owned = true;
+          break;
+        }
+      }
+      if (!owned) continue;
+      diff.push_back(
+          DiffItem{offset, entry.key, entry.length, entry.committed});
+    }
+  }
+
   void Finish() {
+    if (Aborted()) {
+      Abort();
+      return;
+    }
+    // Quiescence, part 1: drain hints that arrived while the transfer
+    // ran (a brief re-failure queued more, or an aborted predecessor
+    // handed its remainder back).
+    auto it = cm->hints_.find(node_index);
+    if (it != cm->hints_.end() && !it->second.empty()) {
+      hints = std::move(it->second);
+      cm->hints_.erase(it);
+      ReplayNextHint();
+      return;
+    }
+    // Quiescence, part 2: verification diff rounds until one copies
+    // nothing new. Blocks with no live donor stay unrepaired rather
+    // than looping: a round that makes no progress ends the transfer.
+    bool progressed = verify_rounds == 0 ||
+                      cm->stats_.diff_blocks_copied > copied_at_round_start;
+    if (progressed && verify_rounds < kMaxVerifyRounds) {
+      BuildLagDiff();
+      if (!diff.empty()) {
+        ++verify_rounds;
+        copied_at_round_start = cm->stats_.diff_blocks_copied;
+        CopyNextDiff();
+        return;
+      }
+    }
     ++cm->stats_.catchups_completed;
     if (done) done();
   }
@@ -253,6 +395,7 @@ void ConsistencyManager::CatchUp(uint32_t node_index,
   job->cm = this;
   job->fleet = fleet_;
   job->node_index = node_index;
+  job->epoch = fleet_->recover_epoch(node_index);
   job->done = std::move(done);
 
   if (overflowed_.count(node_index) == 0) {
@@ -261,8 +404,11 @@ void ConsistencyManager::CatchUp(uint32_t node_index,
   } else {
     // Hint queue overflowed while the node was down: diff the authority's
     // committed versions against the node's VersionMap and copy only the
-    // blocks that are behind.
+    // blocks that are behind. The queued hints are superseded by the
+    // diff and discarded — counted abandoned, never replayed.
     ++stats_.hint_overflow_fallbacks;
+    auto it = hints_.find(node_index);
+    if (it != hints_.end()) stats_.hints_abandoned += it->second.size();
     const se::VersionMap& local =
         fleet_->storage(node_index).storage().versions();
     fssub::FileId file = fleet_->shard_file(node_index);
@@ -278,6 +424,18 @@ void ConsistencyManager::CatchUp(uint32_t node_index,
   hints_.erase(node_index);
   overflowed_.erase(node_index);
   job->Start();
+}
+
+void ConsistencyManager::FinalizeCatchUp(uint32_t node_index) {
+  const se::VersionMap& local =
+      fleet_->storage(node_index).storage().versions();
+  fssub::FileId file = fleet_->shard_file(node_index);
+  for (const auto& [offset, entry] : authority_) {
+    // Lookup() returns the read-visible (durable) version only, so a
+    // write still in the node's disk queue is not published early.
+    uint64_t held = local.Lookup(file, offset);
+    if (held > entry.committed) Commit(offset, held);
+  }
 }
 
 }  // namespace dpdpu::cluster

@@ -50,14 +50,30 @@ struct ConsistencyOptions {
   /// Bound on queued hints per storage node; overflow abandons the
   /// queue and recovery uses the version-map diff instead.
   uint32_t max_hints_per_node = 1024;
+  /// Watchdog on each catch-up transfer RPC. A request fully acked by
+  /// TCP before its target goes dark never stalls the connection, so
+  /// the retransmission cap cannot fire — without this bound the
+  /// transfer wedges forever waiting for a response that will never
+  /// come (and its unreplayed hints leak with it).
+  uint64_t catchup_rpc_timeout = 2'000'000;  // 2 ms
 };
 
 class ConsistencyManager {
  public:
   struct Stats {
     uint64_t versions_issued = 0;
+    /// Commit() calls that raised the committed version (re-publishing
+    /// an already-committed version is idempotent and not counted).
+    uint64_t commits = 0;
+    /// Commit() calls naming a version never drawn for the block — an
+    /// authority-corruption canary; must stay 0.
+    uint64_t phantom_commits = 0;
     uint64_t hints_queued = 0;
-    uint64_t hints_dropped = 0;  // overflow
+    uint64_t hints_dropped = 0;  // rejected at enqueue (queue full)
+    /// Queued hints discarded unreplayed when recovery fell back to the
+    /// version-map diff. Conservation: hints_queued == hints_replayed +
+    /// hints_abandoned + sum(hints_pending()).
+    uint64_t hints_abandoned = 0;
     uint64_t hints_replayed = 0;
     uint64_t hint_bytes = 0;  // payload bytes replayed from hints
     uint64_t hint_overflow_fallbacks = 0;
@@ -65,7 +81,13 @@ class ConsistencyManager {
     uint64_t diff_bytes = 0;  // payload bytes copied by the diff path
     uint64_t diff_blocks_unrepaired = 0;  // no live peer held the block
     uint64_t catchup_write_failures = 0;
+    /// Transfer RPCs abandoned by the watchdog (target or donor went
+    /// dark after acking the request, so no response ever arrives).
+    uint64_t catchup_rpc_timeouts = 0;
     uint64_t catchups_completed = 0;
+    /// Transfers that stood down because the node failed again mid
+    /// catch-up; their unreplayed hints are handed back to the queue.
+    uint64_t catchups_aborted = 0;
     uint64_t read_repairs = 0;
   };
 
@@ -98,6 +120,16 @@ class ConsistencyManager {
   /// node write-only routed until then. May complete synchronously when
   /// there is nothing to transfer.
   void CatchUp(uint32_t node_index, std::function<void()> done);
+
+  /// Publishes the node's durable state to the version authority; the
+  /// caller invokes this immediately before re-admitting the node to
+  /// the read set. Every version the node holds durably is about to
+  /// become observable, so the authority must account for it — in
+  /// particular writes acked while the node was write-only (no readable
+  /// replica held them then, so the coordinator could not commit) and
+  /// replayed hints. Without this the staleness instrument
+  /// under-expects and peer catch-up diffs skip those blocks.
+  void FinalizeCatchUp(uint32_t node_index);
 
   // --- read-repair dedup ---------------------------------------------------
 

@@ -35,6 +35,7 @@ Fleet::Fleet(sim::Simulator* sim, FleetSpec spec)
   consistency_ =
       std::make_unique<ConsistencyManager>(this, spec_.consistency);
   inflight_rpcs_.assign(spec_.storage_servers, 0);
+  recover_epochs_.assign(spec_.storage_servers, 0);
 
   // Format the shard file on every storage server and start serving.
   // Content is identical fleet-wide so any replica can answer any read.
@@ -72,6 +73,7 @@ uint32_t Fleet::storage_index(netsub::NodeId node) const {
 }
 
 void Fleet::FailStorageNode(uint32_t i, FailMode mode) {
+  ++recover_epochs_.at(i);
   router_->MarkDown(storage_node_id(i));
   if (mode == FailMode::kHard) {
     fabric_->SetNodeUp(storage_node_id(i), false);
@@ -87,10 +89,20 @@ void Fleet::RecoverStorageNode(uint32_t i) {
     return;
   }
   // Writes flow to the node at once (so it stops falling behind), but
-  // reads stay away until catch-up has replayed what it missed.
+  // reads stay away until catch-up has replayed what it missed. The
+  // epoch guard keeps a catch-up that outlives a second failure of the
+  // same node from re-admitting it while it is dark: only the recovery
+  // that matches the node's current epoch may MarkUp.
   router_->MarkWriteOnly(storage_node_id(i));
-  consistency_->CatchUp(
-      i, [this, i] { router_->MarkUp(storage_node_id(i)); });
+  uint64_t epoch = recover_epochs_.at(i);
+  consistency_->CatchUp(i, [this, i, epoch] {
+    if (recover_epochs_.at(i) != epoch) return;
+    // Publish what the node durably holds (hint replays plus writes it
+    // acked while write-only) before reads steer back to it, so a write
+    // acked solely by this replica is committed, not silently dropped.
+    consistency_->FinalizeCatchUp(i);
+    router_->MarkUp(storage_node_id(i));
+  });
 }
 
 void Fleet::StartProbes() {

@@ -107,6 +107,10 @@ class Fleet {
   bool IsStorageNodeUp(uint32_t i) const {
     return router_->IsUp(storage_node_id(i));
   }
+  /// Bumped by every FailStorageNode(i). A catch-up started before the
+  /// bump belongs to a dead recovery: its completion must not re-admit
+  /// the node, and its transfer loop stops pushing at a dark target.
+  uint64_t recover_epoch(uint32_t i) const { return recover_epochs_.at(i); }
   /// Whether reads may currently route to the node (false while down or
   /// catching up).
   bool IsStorageNodeReadable(uint32_t i) const {
@@ -161,7 +165,8 @@ class Fleet {
   std::vector<fssub::FileId> shard_files_;
   std::unique_ptr<ShardRouter> router_;
   std::unique_ptr<ConsistencyManager> consistency_;
-  std::vector<uint64_t> inflight_rpcs_;  // by storage index
+  std::vector<uint64_t> inflight_rpcs_;   // by storage index
+  std::vector<uint64_t> recover_epochs_;  // by storage index
 
   std::vector<rt::UtilizationProbe> storage_probes_;
   std::vector<rt::UtilizationProbe> client_probes_;

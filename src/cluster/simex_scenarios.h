@@ -1,0 +1,51 @@
+// First-class simex scenarios for the cluster failover/consistency
+// flows: hinted handoff, hint-overflow diff fallback, catch-up transfer
+// gating read re-admission, read-repair, and close-callback re-steer.
+// Each scenario builds a small fleet inside the explorer's Simulator,
+// arms fault-timing choice points (cluster/simex_faults.h), drives a
+// deterministic targeted workload, and checks one shared invariant set:
+//
+//  * no acked write lost — once the cluster is fully readable again,
+//    the version authority's committed version for every block is at
+//    least the newest version acked to a client;
+//  * no stale read after re-admission — completed reads never return
+//    payload older than the version committed before they started;
+//  * no phantom or double commit — the authority never commits a
+//    version that was not drawn (the per-op commit guard plus the
+//    monotonic-max authority make a literal double commit structurally
+//    impossible; phantom_commits is the corruption canary);
+//  * all in-flight RPCs drained on node down — per-node in-flight
+//    counters return to zero, and the router never considers a dark
+//    (fabric-down) node up;
+//  * hint conservation — every queued hint is replayed, abandoned to
+//    the diff fallback, or still pending; none vanish.
+//
+// The registry below feeds tools/simex (CLI targets `cluster-*`),
+// scripts/check_bench.py --explore, and the ctest replay of committed
+// regression tokens in tests/simex_scenarios_test.cc.
+
+#ifndef DPDPU_CLUSTER_SIMEX_SCENARIOS_H_
+#define DPDPU_CLUSTER_SIMEX_SCENARIOS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sim/simex.h"
+
+namespace dpdpu::cluster {
+
+struct ClusterScenarioInfo {
+  const char* name;         // CLI target name, "cluster-" prefixed
+  const char* description;  // one line for --list
+  sim::Scenario (*make)();
+};
+
+/// All registered cluster consistency scenarios, in a fixed order.
+const std::vector<ClusterScenarioInfo>& ClusterScenarios();
+
+/// Lookup by CLI target name; nullptr when unknown.
+const ClusterScenarioInfo* FindClusterScenario(std::string_view name);
+
+}  // namespace dpdpu::cluster
+
+#endif  // DPDPU_CLUSTER_SIMEX_SCENARIOS_H_

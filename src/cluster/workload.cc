@@ -21,6 +21,7 @@ struct FleetClient::Op {
   bool done = false;
   std::vector<netsub::NodeId> tried;
   std::function<void()> on_done;
+  std::function<void(bool)> on_done_ok;
   /// Staleness instrument: the version committed for this block before
   /// the op started. One-sided on purpose — versions committed while
   /// the read is in flight are not held against it.
@@ -105,14 +106,26 @@ void FleetClient::IssueWrite(uint64_t key, std::function<void()> done) {
   Issue(key, false, 0, std::move(done));
 }
 
+void FleetClient::IssueReadChecked(uint64_t key,
+                                   std::function<void(bool)> done) {
+  Issue(key, true, 0, nullptr, std::move(done));
+}
+
+void FleetClient::IssueWriteChecked(uint64_t key,
+                                    std::function<void(bool)> done) {
+  Issue(key, false, 0, nullptr, std::move(done));
+}
+
 void FleetClient::Issue(uint64_t key, bool is_read, uint8_t flags,
-                        std::function<void()> done) {
+                        std::function<void()> done,
+                        std::function<void(bool)> done_ok) {
   auto op = std::make_shared<Op>();
   op->key = key;
   op->offset = key * options_.request_bytes;
   op->flags = flags;
   op->start = fleet_->simulator()->now();
   op->on_done = std::move(done);
+  op->on_done_ok = std::move(done_ok);
   op->expected_version = fleet_->consistency().CommittedVersion(op->offset);
   ++stats_.issued;
   if (is_read) {
@@ -432,6 +445,7 @@ void FleetClient::Finish(std::shared_ptr<Op> op, bool ok) {
     ++stats_.failed;
   }
   if (op->on_done) op->on_done();
+  if (op->on_done_ok) op->on_done_ok(ok);
 }
 
 OpenLoopDriver::OpenLoopDriver(std::vector<FleetClient*> clients,

@@ -81,6 +81,12 @@ class FleetClient {
   void IssueRead(uint64_t key, std::function<void()> done = nullptr);
   void IssueWrite(uint64_t key, std::function<void()> done = nullptr);
 
+  /// Like IssueRead/IssueWrite but reporting the op's outcome; simex
+  /// scenarios key per-op ground truth (which write versions were acked
+  /// to the caller) on it.
+  void IssueReadChecked(uint64_t key, std::function<void(bool ok)> done);
+  void IssueWriteChecked(uint64_t key, std::function<void(bool ok)> done);
+
   const Stats& stats() const { return stats_; }
   const Histogram& latency_ns() const { return latency_; }
   const WorkloadOptions& options() const { return options_; }
@@ -91,7 +97,8 @@ class FleetClient {
 
   se::RemoteStorageClient* ClientFor(netsub::NodeId node);
   void Issue(uint64_t key, bool is_read, uint8_t flags,
-             std::function<void()> done);
+             std::function<void()> done,
+             std::function<void(bool)> done_ok = nullptr);
   void AttemptRead(std::shared_ptr<Op> op);
   void OnReadReply(std::shared_ptr<Op> op, netsub::NodeId server,
                    Result<Buffer> data, uint64_t version);

@@ -16,7 +16,12 @@
 //    RaceTag and annotate reads/writes with DPDPU_SIM_ACCESS; the
 //    checker groups accesses per (object, key) within each timestamp
 //    bucket and flags conflicting accesses from causally-unordered
-//    events, with a full provenance chain for each side.
+//    events, with a full provenance chain for each side. Every racing
+//    *event pair* is reported, deduplicated per run on
+//    (object, event-pair) — so hot objects with several aliasing racing
+//    pairs hand simex its full persistent set in one run instead of one
+//    reversal per run (the old one-report-per-(object, key) policy,
+//    kept behind Options::single_report_per_key for A/B measurement).
 //
 // The checker only observes — it never schedules, reads time, or draws
 // randomness — so enabling it cannot change any simulated metric.
@@ -30,6 +35,7 @@
 #include <cstdio>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -102,6 +108,12 @@ class RaceChecker {
     bool quiet = false;
     /// Provenance chain depth per side.
     uint32_t max_provenance_depth = 12;
+    /// Legacy reporting policy: at most one race per (object, key) per
+    /// run, first conflicting pair wins. The default (false) reports
+    /// every racing event pair, deduped on (object, event-pair), which
+    /// is what gives DPOR full reversal visibility on hot objects.
+    /// Kept only so tests/simex_oracle.cc can prove the difference.
+    bool single_report_per_key = false;
   };
 
   RaceChecker();  // default Options (GCC rejects `= Options()` here)
@@ -184,6 +196,11 @@ class RaceChecker {
   /// ancestors older than the window are truncated when printed).
   std::vector<Provenance> provenance_;
   std::vector<std::string> object_names_;  // by id - 1
+  /// Multi-report dedup: one report per (object, first event, second
+  /// event) per run. Event ids are run-unique, so a pair racing on
+  /// several keys of one object still reports once.
+  std::set<std::tuple<uint32_t, uint64_t, uint64_t>> reported_pairs_;
+  /// Legacy dedup (Options::single_report_per_key): (object, key).
   std::set<std::pair<uint32_t, uint64_t>> reported_keys_;
   std::vector<RaceReport> races_;
   uint64_t race_count_ = 0;

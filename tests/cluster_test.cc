@@ -412,6 +412,44 @@ TEST(ConsistencyTest, HintOverflowFallsBackToVersionMapDiff) {
   EXPECT_EQ(client.stats().failed, 0u);
 }
 
+// Every queued hint must end in exactly one bucket: replayed, abandoned
+// (discarded at the overflow fallback), or still pending. The overflow
+// path used to erase the abandoned queue uncounted, so dropped-at-
+// enqueue and abandoned-at-fallback were indistinguishable and the
+// books never balanced (found by the cluster-hint-overflow scenario,
+// regression token simex:1:0=1,1=1).
+TEST(ConsistencyTest, HintOverflowAccountingConserved) {
+  sim::Simulator sim;
+  FleetSpec spec = SmallFleetSpec(2, 1, 2);
+  spec.consistency.enabled = true;
+  spec.consistency.max_hints_per_node = 4;
+  Fleet fleet(&sim, spec);
+  FleetClient client(&fleet, 0, SmallWorkload());
+
+  fleet.FailStorageNode(0, FailMode::kGraceful);
+  for (uint64_t key = 0; key < 10; ++key) client.IssueWrite(key);
+  sim.Run();
+
+  const ConsistencyManager::Stats& stats = fleet.consistency().stats();
+  EXPECT_EQ(stats.hints_queued, 4u);
+  EXPECT_EQ(stats.hints_dropped, 6u)
+      << "writes past the full queue are rejected at enqueue";
+  EXPECT_EQ(fleet.consistency().hints_pending(0), 4u);
+
+  fleet.RecoverStorageNode(0);
+  sim.Run();
+  EXPECT_EQ(stats.hints_replayed, 0u);
+  EXPECT_EQ(stats.hints_abandoned, 4u)
+      << "the abandoned queue must be counted, not silently erased";
+  EXPECT_EQ(fleet.consistency().hints_pending(0), 0u);
+  uint64_t pending = 0;
+  for (uint32_t i = 0; i < 2; ++i) {
+    pending += fleet.consistency().hints_pending(i);
+  }
+  EXPECT_EQ(stats.hints_queued,
+            stats.hints_replayed + stats.hints_abandoned + pending);
+}
+
 TEST(ConsistencyTest, RecoverWhileWritingStaysConsistent) {
   sim::Simulator sim;
   FleetSpec spec = SmallFleetSpec(3, 2, 2);

@@ -104,6 +104,55 @@ ScenarioResult FaultScenario(Simulator& sim) {
   return r;
 }
 
+// --- Bug C: hot-object bug (multi-report DPOR) ----------------------
+// Three same-timestamp handlers all conflict on ONE shared object; the
+// invariant breaks only on the full reversal 2,1,0. The legacy
+// one-report-per-(object,key) mode hands DPOR a single reversal branch
+// per run — it flips the first pair back and forth and dead-ends
+// without ever composing two reversals. Default multi-report simrace
+// (every conflicting causally-unordered pair, deduped on
+// (object, event-pair)) feeds the full persistent set, so the explorer
+// composes reversals and reaches 2,1,0 inside the same budget.
+
+ScenarioResult HotObjectScenario(Simulator& sim) {
+  auto slot = std::make_shared<Racy<int>>("oracle.hot");
+  auto order = std::make_shared<std::vector<int>>();
+  for (int i = 0; i < 3; ++i) {
+    sim.Schedule(100, [slot, order, i] {
+      slot->write() = i;
+      order->push_back(i);
+    });
+  }
+  sim.Run();
+  ScenarioResult r;
+  if (*order == std::vector<int>{2, 1, 0}) {
+    r.ok = false;
+    r.failure = "torn update: hot object written in full reversal 2,1,0";
+  }
+  r.metrics = "handlers=3\n";
+  return r;
+}
+
+// Runs the hot-object scenario under one simrace reporting mode and
+// says whether the planted full-reversal bug surfaced.
+bool HotObjectFound(bool single_report, uint64_t budget,
+                    uint64_t* schedules_out) {
+  ExploreOptions options;
+  options.max_schedules = budget;
+  options.race_is_failure = false;  // races are the branch fuel here
+  options.single_report_per_key = single_report;
+  Explorer ex(Scenario(HotObjectScenario), options);
+  ex.Explore();
+  *schedules_out = ex.stats().schedules_run;
+  for (const ExploreFailure& f : ex.failures()) {
+    if (f.kind == "invariant" &&
+        f.detail.find("full reversal") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // --- Harness -------------------------------------------------------
 
 struct Policy {
@@ -188,10 +237,27 @@ int main() {
   bool b_found = FoundByExplorer("failover", FaultScenario,
                                  "failed before WAL flush", "simex:1:0=2");
 
-  bool ok = a_hidden && a_found && b_hidden && b_found;
+  std::printf("[C] hot-object bug (breaks only on full reversal 2,1,0)\n");
+  constexpr uint64_t kHotBudget = 32;
+  uint64_t single_schedules = 0;
+  uint64_t multi_schedules = 0;
+  bool c_single = HotObjectFound(/*single_report=*/true, kHotBudget,
+                                 &single_schedules);
+  bool c_multi = HotObjectFound(/*single_report=*/false, kHotBudget,
+                                &multi_schedules);
+  std::printf("  hot-object single-rpt: %s (%llu schedules)\n",
+              c_single ? "found (legacy mode too strong?)"
+                       : "bug hidden (as planted)",
+              (unsigned long long)single_schedules);
+  std::printf("  hot-object multi-rpt : %s (%llu schedules)\n",
+              c_multi ? "found" : "MISSED the planted bug",
+              (unsigned long long)multi_schedules);
+  bool c_ok = !c_single && c_multi;
+
+  bool ok = a_hidden && a_found && b_hidden && b_found && c_ok;
   std::printf("simex oracle: %s\n",
-              ok ? "both planted bugs hidden from sampling, found by "
-                   "exploration"
+              ok ? "planted bugs hidden from sampling (and legacy "
+                   "single-report), found by exploration"
                  : "FAILED");
   return ok ? 0 : 1;
 }

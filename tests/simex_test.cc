@@ -155,6 +155,38 @@ TEST(SimexExploreTest, MetricEqualitySkippedAcrossFaultPicks) {
   EXPECT_EQ(ex.stats().schedules_run, 3u);
 }
 
+// An out-of-range plan pick (e.g. a token minted against an older
+// scenario revision with more alternatives) is clamped to the default.
+// The clamp must be what everything downstream keys on: Decision.chosen
+// records the effective pick, the effective plan trims to empty, and
+// metric comparison treats the run as the reference — never as a
+// divergent fault branch judged on the raw plan value.
+TEST(SimexExploreTest, ClampedPickMatchesReferenceMetrics) {
+  auto scenario = [](Simulator& sim) {
+    ScenarioResult r;
+    uint32_t pick = sim.Choose("fault.slot", 1, 3);
+    sim.Run();
+    r.metrics = "completed=" + std::to_string(100 - 10 * pick) + "\n";
+    return r;
+  };
+  Explorer ex(scenario);
+  RunRecord reference = ex.Run(Plan{});
+  Plan overshoot{7};  // scenario only offers alternatives 0..2
+  RunRecord clamped = ex.Run(overshoot);
+  ASSERT_EQ(clamped.decisions.size(), 1u);
+  EXPECT_EQ(clamped.decisions[0].n, 3u);
+  EXPECT_EQ(clamped.decisions[0].chosen, 0u)
+      << "an out-of-range pick must clamp to the default alternative";
+  EXPECT_TRUE(clamped.effective.empty())
+      << "the effective plan records the clamp, not the raw pick";
+  EXPECT_EQ(clamped.result.metrics, reference.result.metrics);
+  // End to end: exploring with metric checks on stays clean — the
+  // clamped run is recognized as the reference schedule, not flagged
+  // as metric divergence against it.
+  Explorer ex2(scenario);
+  EXPECT_TRUE(ex2.Explore());
+}
+
 // Minimization: three choice points, only the middle one matters. A
 // deliberately fat failing plan must shrink to the single essential
 // pick.

@@ -29,6 +29,7 @@
 
 #include "cluster/fleet.h"
 #include "cluster/simex_faults.h"
+#include "cluster/simex_scenarios.h"
 #include "cluster/workload.h"
 #include "fssub/page_cache.h"
 #include "hw/machine.h"
@@ -182,6 +183,17 @@ const Target kTargets[] = {
      [] { return Scenario(PageCacheRaceScenario); }},
 };
 
+// Built-ins plus the cluster consistency registry
+// (cluster/simex_scenarios.h) — one flat namespace for --target.
+std::vector<Target> AllTargets() {
+  std::vector<Target> targets(std::begin(kTargets), std::end(kTargets));
+  for (const cluster::ClusterScenarioInfo& info :
+       cluster::ClusterScenarios()) {
+    targets.push_back(Target{info.name, info.description, info.make});
+  }
+  return targets;
+}
+
 // --------------------------------------------------------------------------
 // Driver.
 // --------------------------------------------------------------------------
@@ -221,8 +233,8 @@ int Main(int argc, char** argv) {
     } else if (arg == "--no-minimize") {
       minimize = false;
     } else if (arg == "--list") {
-      for (const Target& t : kTargets) {
-        std::printf("%-16s %s\n", t.name, t.description);
+      for (const Target& t : AllTargets()) {
+        std::printf("%-24s %s\n", t.name, t.description);
       }
       return 0;
     } else {
@@ -231,8 +243,9 @@ int Main(int argc, char** argv) {
     }
   }
 
+  const std::vector<Target> targets = AllTargets();
   const Target* target = nullptr;
-  for (const Target& t : kTargets) {
+  for (const Target& t : targets) {
     if (target_name == t.name) target = &t;
   }
   if (target == nullptr) {
