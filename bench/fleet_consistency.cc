@@ -19,6 +19,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "cluster/fleet.h"
 #include "cluster/workload.h"
@@ -44,6 +47,7 @@ struct ConsistencyPoint {
   uint64_t diff_blocks = 0;
   sim::SimTime end_time = 0;
   uint64_t races = 0;
+  std::vector<std::string> objects;  // observed by the checker
 };
 
 // Open-loop mixed workload; storage server 0 fails gracefully at 1 ms
@@ -108,6 +112,7 @@ ConsistencyPoint RunConsistency(bool enabled, uint64_t seed) {
   point.end_time = sim.now();
   sim.FinishRaceCheck();
   point.races = race.race_count();
+  point.objects = race.observed_objects();
   return point;
 }
 
@@ -118,6 +123,7 @@ struct FailoverPoint {
   uint64_t resteered = 0;
   uint64_t max_latency_ns = 0;
   uint64_t races = 0;
+  std::vector<std::string> objects;  // observed by the checker
 };
 
 // A warmed client strands a burst of reads against a storage node that
@@ -161,6 +167,7 @@ FailoverPoint RunFailover(bool close_callback, uint64_t seed) {
   point.max_latency_ns = client.latency_ns().max();
   sim.FinishRaceCheck();
   point.races = race.race_count();
+  point.objects = race.observed_objects();
   return point;
 }
 
@@ -240,6 +247,16 @@ int main() {
                      kSeed);
   rt::EmitJsonMetric("fleet_consistency", "race_check_races",
                      double(races), "races", kSeed);
+  // Distinct instrumented objects the checker actually observed across
+  // every run above (see fleet_cpu_savings.cc for rationale).
+  std::set<std::string> objects;
+  objects.insert(off.objects.begin(), off.objects.end());
+  objects.insert(on.objects.begin(), on.objects.end());
+  objects.insert(replay.objects.begin(), replay.objects.end());
+  objects.insert(via_close.objects.begin(), via_close.objects.end());
+  objects.insert(via_timeout.objects.begin(), via_timeout.objects.end());
+  rt::EmitJsonMetric("fleet_consistency", "race_check_objects",
+                     double(objects.size()), "objects", kSeed);
 
   bool ok = off.stale_reads >= 1 && on.stale_reads == 0 &&
             on.catchup_bytes > 0 && catchup_ratio < 1.0 &&

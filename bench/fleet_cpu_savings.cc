@@ -9,6 +9,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "cluster/fleet.h"
 #include "cluster/workload.h"
@@ -35,6 +38,7 @@ struct FleetPoint {
   sim::SimTime end_time = 0;
   uint64_t routed_to_failed_after_failure = 0;
   uint64_t races = 0;
+  std::vector<std::string> objects;  // observed by the checker
 };
 
 // Runs an open-loop read fleet; fail_index >= 0 gracefully fails that
@@ -113,6 +117,7 @@ FleetPoint RunFleet(uint32_t n_storage, uint32_t n_clients,
   }
   sim.FinishRaceCheck();
   point.races = race.race_count();
+  point.objects = race.observed_objects();
   return point;
 }
 
@@ -208,6 +213,17 @@ int main() {
                      kSeed);
   rt::EmitJsonMetric("fleet_cpu_savings", "race_check_races",
                      double(races), "races", kSeed);
+  // Distinct instrumented objects the checker actually observed across
+  // every run above — the dynamic footprint of the annotation sweep.
+  // simscope guarantees the static side; a drop here means a code path
+  // stopped exercising its annotations.
+  std::set<std::string> objects;
+  for (const auto* p : {&single_base, &single_dds, &fleet_base, &fleet_dds,
+                        &replay, &failure}) {
+    objects.insert(p->objects.begin(), p->objects.end());
+  }
+  rt::EmitJsonMetric("fleet_cpu_savings", "race_check_objects",
+                     double(objects.size()), "objects", kSeed);
 
   bool ok = std::fabs(ratio - 1.0) <= 0.15 && deterministic && no_loss &&
             races == 0;

@@ -474,6 +474,19 @@ def main():
                     f"SLOWER   {key}: {value:.3e} < baseline "
                     f"{base_value:.3e} / {args.tolerance:.1f}")
 
+    # A bench that runs under the race checker must also report the
+    # checker's dynamic footprint: race_check_objects is how the
+    # annotation sweep stays observable (simscope gates the static side,
+    # this gates the dynamic one).
+    for key, (value, unit) in sorted(current.items()):
+        if not key.endswith("/race_check_enabled") or value != 1:
+            continue
+        bench = key.rsplit("/", 1)[0]
+        if f"{bench}/race_check_objects" not in current:
+            failures.append(
+                f"MISSING  {bench}/race_check_objects: race-checked "
+                "bench must report its observed-object count")
+
     new_keys = sorted(set(current) - set(baseline))
     for key in new_keys:
         print(f"note: unbaselined metric {key} (run --update to adopt)")

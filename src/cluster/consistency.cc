@@ -356,6 +356,15 @@ struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
   }
 
   void Finish() {
+    // Drain side of the hint handoff: QueueHint records its writes per
+    // (node, block); the transfer's quiescence check touches the same
+    // table. Commutative — a hint queued beside a same-timestamp drain
+    // is either replayed now or picked up by the next quiescence round,
+    // so both orders converge (the loop exists to absorb exactly this).
+    DPDPU_SIM_ACCESS(cm->race_tag_, "ConsistencyManager",
+                     sim::RaceKey(ConsistencyManager::kRaceSaltHints,
+                                  node_index),
+                     sim::AccessKind::kCommutativeWrite);
     if (Aborted()) {
       Abort();
       return;
@@ -391,6 +400,12 @@ struct CatchUpJob : std::enable_shared_from_this<CatchUpJob> {
 
 void ConsistencyManager::CatchUp(uint32_t node_index,
                                  std::function<void()> done) {
+  // Recovery takes ownership of the node's queued hints (and clears the
+  // overflow marker) in one step; commutative against QueueHint for the
+  // same reason as CatchUpJob::Finish above.
+  DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                   sim::RaceKey(kRaceSaltHints, node_index),
+                   sim::AccessKind::kCommutativeWrite);
   auto job = std::make_shared<CatchUpJob>();
   job->cm = this;
   job->fleet = fleet_;

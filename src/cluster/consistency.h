@@ -137,7 +137,12 @@ class ConsistencyManager {
   /// flight for it.
   bool BeginRepair(uint32_t node_index, uint64_t offset);
   void EndRepair(uint32_t node_index, uint64_t offset);
-  void NoteReadRepair() { ++stats_.read_repairs; }
+  void NoteReadRepair() {
+    DPDPU_SIM_ACCESS(race_tag_, "ConsistencyManager",
+                     sim::RaceKey(kRaceSaltRepairs, 0),
+                     sim::AccessKind::kCommutativeWrite);
+    ++stats_.read_repairs;
+  }
 
   const Stats& stats() const { return stats_; }
 

@@ -123,9 +123,13 @@ class Fleet {
   /// assert graceful drains: after FailStorageNode(kGraceful), in-flight
   /// requests complete and the count returns to zero.
   void NoteRpcIssued(netsub::NodeId node) {
+    DPDPU_SIM_ACCESS(race_tag_, "Fleet", storage_index(node),
+                     sim::AccessKind::kCommutativeWrite);
     ++inflight_rpcs_.at(storage_index(node));
   }
   void NoteRpcDone(netsub::NodeId node) {
+    DPDPU_SIM_ACCESS(race_tag_, "Fleet", storage_index(node),
+                     sim::AccessKind::kCommutativeWrite);
     uint64_t& count = inflight_rpcs_.at(storage_index(node));
     DPDPU_CHECK(count > 0);
     --count;
@@ -167,6 +171,10 @@ class Fleet {
   std::unique_ptr<ConsistencyManager> consistency_;
   std::vector<uint64_t> inflight_rpcs_;   // by storage index
   std::vector<uint64_t> recover_epochs_;  // by storage index
+  /// Every client brackets RPCs through inflight_rpcs_; the bumps are
+  /// commutative per node, so the drain assertion (count returns to 0)
+  /// holds under any same-timestamp interleaving.
+  sim::RaceTag race_tag_;
 
   std::vector<rt::UtilizationProbe> storage_probes_;
   std::vector<rt::UtilizationProbe> client_probes_;

@@ -80,6 +80,11 @@ se::RemoteStorageClient* FleetClient::ClientFor(netsub::NodeId node) {
 }
 
 void FleetClient::IssueOne(std::function<void()> done) {
+  // Commutative client accounting (see the race_tag_ declaration):
+  // same-tick issues swap counter values, which swaps which request
+  // draws which identity — the drawn multiset is unchanged.
+  DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   // Counter-keyed request stream: request k of client c always draws
   // from Pcg32(mix(seed, c, k)), so its key/offload/read-write split is
   // a pure function of request identity. A shared cursor-style RNG here
@@ -119,6 +124,8 @@ void FleetClient::IssueWriteChecked(uint64_t key,
 void FleetClient::Issue(uint64_t key, bool is_read, uint8_t flags,
                         std::function<void()> done,
                         std::function<void(bool)> done_ok) {
+  DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   auto op = std::make_shared<Op>();
   op->key = key;
   op->offset = key * options_.request_bytes;
@@ -198,6 +205,8 @@ void FleetClient::AttemptRead(std::shared_ptr<Op> op) {
             Finish(op, false);
             return;
           }
+            DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                             sim::AccessKind::kCommutativeWrite);
           ++stats_.resteered;
           AttemptRead(op);
         });
@@ -207,6 +216,8 @@ void FleetClient::AttemptRead(std::shared_ptr<Op> op) {
 void FleetClient::OnReadReply(std::shared_ptr<Op> op,
                               netsub::NodeId server, Result<Buffer> data,
                               uint64_t version) {
+  DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   if (!data.ok()) {
     // Server error or connection abort (the close callback failing the
     // RPC): re-steer immediately instead of waiting for retry_timeout —
@@ -256,6 +267,8 @@ bool FleetClient::HasUntriedReadReplica(
 
 void FleetClient::CompleteRead(std::shared_ptr<Op> op, Buffer data,
                                uint64_t version) {
+  DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   // Content check: once any version was committed for this block before
   // the op started, the payload must carry a stamp at least that new.
   if (op->expected_version > 0) {
@@ -287,6 +300,8 @@ void FleetClient::RepairReplica(netsub::NodeId node, uint64_t offset,
         fleet_->consistency().EndRepair(index, offset);
         if (s.ok()) {
           fleet_->consistency().NoteReadRepair();
+          DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                           sim::AccessKind::kCommutativeWrite);
           ++stats_.read_repairs;
         }
       });
@@ -362,6 +377,8 @@ void FleetClient::AttemptWriteSub(std::shared_ptr<Op> op,
       GiveUpWriteSub(op, sub_index);
       return;
     }
+    DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
     ++stats_.write_retries;
     AttemptWriteSub(op, sub_index);
   };
@@ -387,6 +404,8 @@ void FleetClient::AttemptWriteSub(std::shared_ptr<Op> op,
             GiveUpWriteSub(op, sub_index);
             return;
           }
+            DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                             sim::AccessKind::kCommutativeWrite);
           ++stats_.write_retries;
           AttemptWriteSub(op, sub_index);
         });
@@ -395,6 +414,8 @@ void FleetClient::AttemptWriteSub(std::shared_ptr<Op> op,
 
 void FleetClient::SettleWriteSub(std::shared_ptr<Op> op, size_t sub_index,
                                  bool acked) {
+  DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   Op::WriteSub& sub = op->subs[sub_index];
   sub.settled = true;
   sub.acked = acked;
@@ -414,6 +435,8 @@ void FleetClient::SettleWriteSub(std::shared_ptr<Op> op, size_t sub_index,
 
 void FleetClient::GiveUpWriteSub(std::shared_ptr<Op> op,
                                  size_t sub_index) {
+  DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   Op::WriteSub& sub = op->subs[sub_index];
   ++stats_.write_giveups;
   if (fleet_->consistency().enabled()) {
@@ -437,6 +460,8 @@ void FleetClient::FinishWrite(std::shared_ptr<Op> op) {
 }
 
 void FleetClient::Finish(std::shared_ptr<Op> op, bool ok) {
+  DPDPU_SIM_ACCESS(race_tag_, "FleetClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   op->done = true;
   if (ok) {
     ++stats_.completed;

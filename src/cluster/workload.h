@@ -124,6 +124,13 @@ class FleetClient {
       connections_;
   Stats stats_;
   Histogram latency_;
+  /// Client-side accounting (stats_, latency_, issue_counter_) is
+  /// written from every RPC continuation; all accesses are commutative
+  /// — counter bumps and histogram adds — so unordered same-timestamp
+  /// completions converge. The per-op protocol fields (Op::generation
+  /// and friends) are NOT under this tag: their interleavings are
+  /// adjudicated by the generation guard, see the allowlist.
+  sim::RaceTag race_tag_;
 };
 
 /// Open-loop driver: Poisson arrivals at `rate_per_sec` spread uniformly

@@ -152,6 +152,8 @@ sim::SimTime PlacementModel::backlog(ExecTarget target) const {
 
 void AdmissionQueue::Push(uint32_t tenant, uint64_t weight_bytes,
                           UniqueFunction dispatch) {
+  DPDPU_SIM_ACCESS(race_tag_, "ce::AdmissionQueue", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   ++size_;
   if (discipline_ == Discipline::kFcfs) {
     fifo_.push_back(Entry{weight_bytes, std::move(dispatch)});
@@ -162,6 +164,8 @@ void AdmissionQueue::Push(uint32_t tenant, uint64_t weight_bytes,
 }
 
 bool AdmissionQueue::Pop(UniqueFunction* out) {
+  DPDPU_SIM_ACCESS(race_tag_, "ce::AdmissionQueue", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   if (size_ == 0) return false;
   if (discipline_ == Discipline::kFcfs) {
     *out = std::move(fifo_.front().dispatch);

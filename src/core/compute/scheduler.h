@@ -15,6 +15,7 @@
 #include "core/compute/dp_kernel.h"
 #include "core/compute/work_item.h"
 #include "hw/machine.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::ce {
 
@@ -102,6 +103,11 @@ class AdmissionQueue {
   // DRR path: round-robin cursor over tenants with queued work.
   std::map<uint32_t, TenantState> tenants_;
   uint32_t cursor_ = 0;
+  /// Pushes arrive from NIC delivery events, pops from the engine pump;
+  /// both are commutative — admission order among same-timestamp pushes
+  /// is deterministic tiebreak territory, and the entries are
+  /// independent dispatch closures.
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::ce

@@ -3,6 +3,8 @@
 namespace dpdpu::ne {
 
 void FlowWriter::Push(ByteSpan record) {
+  DPDPU_SIM_ACCESS(race_tag_, "FlowWriter", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   pending_.AppendU32(static_cast<uint32_t>(record.size()));
   pending_.Append(record);
   ++records_;
@@ -10,6 +12,8 @@ void FlowWriter::Push(ByteSpan record) {
 }
 
 void FlowWriter::Flush() {
+  DPDPU_SIM_ACCESS(race_tag_, "FlowWriter", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   if (pending_.empty()) return;
   socket_->Send(pending_.span());
   pending_.clear();

@@ -38,6 +38,9 @@ class FlowWriter {
   Buffer pending_;
   uint64_t records_ = 0;
   uint64_t batches_ = 0;
+  /// Same-tick pushes from different completion contexts only permute
+  /// batch boundaries, never record bytes — commutative.
+  sim::RaceTag race_tag_;
 };
 
 /// Receiving half: reassembles length-framed records from the stream.

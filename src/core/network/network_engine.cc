@@ -14,6 +14,8 @@ NeSocket::NeSocket(NetworkEngine* engine, netsub::TcpConnection* conn)
     : engine_(engine), conn_(conn) {}
 
 void NeSocket::Send(ByteSpan data) {
+  DPDPU_SIM_ACCESS(race_tag_, "NeSocket", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   bytes_sent_ += data.size();
   engine_->SubmitSend(this, Buffer(data.data(), data.size()));
 }
@@ -46,6 +48,8 @@ void NeSocket::WireReceivePath() {
 }
 
 void NeSocket::DeliverToHost(Buffer data) {
+  DPDPU_SIM_ACCESS(race_tag_, "NeSocket", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   // Offload path: the payload DMAs from DPU memory into the host ring;
   // the host application pays only the ring poll.
   size_t bytes = data.size();
@@ -69,6 +73,8 @@ void NeSocket::DeliverToHost(Buffer data) {
 }
 
 void NeSocket::HostConsumed(size_t bytes) {
+  DPDPU_SIM_ACCESS(race_tag_, "NeSocket", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   ring_occupancy_bytes_ -= std::min<uint32_t>(ring_occupancy_bytes_,
                                               uint32_t(bytes));
   uint32_t ring_capacity = engine_->options().host_rx_ring_bytes;

@@ -101,6 +101,10 @@ class NeSocket {
   // Host-bound delivery accounting (ring occupancy drives flow control).
   uint32_t ring_occupancy_bytes_ = 0;
   bool window_shrunk_ = false;
+  /// Ring occupancy is bumped by DPU-side delivery and drained by host
+  /// poll completions; both commutative — the shrink/restore hysteresis
+  /// band tolerates transient interleavings of +/- at one timestamp.
+  sim::RaceTag race_tag_;
 };
 
 class NetworkEngine {

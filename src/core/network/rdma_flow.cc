@@ -5,6 +5,8 @@
 namespace dpdpu::ne {
 
 Status RdmaFlowWriter::Push(ByteSpan record) {
+  DPDPU_SIM_ACCESS(race_tag_, "RdmaFlowWriter", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   pending_.AppendU32(static_cast<uint32_t>(record.size()));
   pending_.Append(record);
   ++records_;
@@ -13,6 +15,8 @@ Status RdmaFlowWriter::Push(ByteSpan record) {
 }
 
 Status RdmaFlowWriter::Flush() {
+  DPDPU_SIM_ACCESS(race_tag_, "RdmaFlowWriter", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   if (pending_.empty()) return Status::Ok();
   DPDPU_RETURN_IF_ERROR(endpoint_->Send(next_wr_++, pending_.span()));
   pending_.clear();

@@ -46,6 +46,8 @@ class RdmaFlowWriter {
   uint64_t records_ = 0;
   uint64_t batches_ = 0;
   uint64_t next_wr_ = 1;
+  /// See FlowWriter: batching state, commutative by construction.
+  sim::RaceTag race_tag_;
 };
 
 class RdmaFlowReader {

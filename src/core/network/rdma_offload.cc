@@ -77,7 +77,7 @@ Status OffloadedRdmaEndpoint::Read(uint64_t wr_id, netsub::MrKey local,
   SubmitThroughRing([this, wr_id, local, loff, remote, roff, len] {
     Status s = qp_->PostRead(wr_id, local, loff, remote, roff, len);
     if (!s.ok()) {
-      host_completions_.push_back(netsub::RdmaCompletion{
+      PushCompletion(netsub::RdmaCompletion{
           netsub::RdmaCompletion::OpType::kRead, wr_id, 0, false});
     }
   });
@@ -90,7 +90,7 @@ Status OffloadedRdmaEndpoint::Write(uint64_t wr_id, netsub::MrKey local,
   SubmitThroughRing([this, wr_id, local, loff, remote, roff, len] {
     Status s = qp_->PostWrite(wr_id, local, loff, remote, roff, len);
     if (!s.ok()) {
-      host_completions_.push_back(netsub::RdmaCompletion{
+      PushCompletion(netsub::RdmaCompletion{
           netsub::RdmaCompletion::OpType::kWrite, wr_id, 0, false});
     }
   });
@@ -102,7 +102,7 @@ Status OffloadedRdmaEndpoint::Send(uint64_t wr_id, ByteSpan data) {
       [this, wr_id, data = Buffer(data.data(), data.size())] {
         Status s = qp_->PostSend(wr_id, data.span());
         if (!s.ok()) {
-          host_completions_.push_back(netsub::RdmaCompletion{
+          PushCompletion(netsub::RdmaCompletion{
               netsub::RdmaCompletion::OpType::kSend, wr_id, 0, false});
         }
       });
@@ -116,7 +116,7 @@ Status OffloadedRdmaEndpoint::Recv(uint64_t wr_id, netsub::MrKey local,
     if (!s.ok()) {
       // Same convention as Send: surface the device-side post failure as
       // a failed completion instead of dropping it on the floor.
-      host_completions_.push_back(netsub::RdmaCompletion{
+      PushCompletion(netsub::RdmaCompletion{
           netsub::RdmaCompletion::OpType::kRecv, wr_id, 0, false});
     }
   });
@@ -130,15 +130,21 @@ void OffloadedRdmaEndpoint::DrainDeviceCompletions() {
   while (qp_->cq().Poll(&c)) {
     // simlint:allow(R6): endpoint outlives the drained event heap
     server_->simulator()->Schedule(server_->pcie().spec().latency_ns,
-                                   [this, c] {
-                                     host_completions_.push_back(c);
-                                     if (notify_) notify_();
-                                   });
+                                   [this, c] { PushCompletion(c); });
   }
+}
+
+void OffloadedRdmaEndpoint::PushCompletion(netsub::RdmaCompletion c) {
+  DPDPU_SIM_ACCESS(race_tag_, "OffloadedRdmaEndpoint", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
+  host_completions_.push_back(c);
+  if (notify_) notify_();
 }
 
 bool OffloadedRdmaEndpoint::PollCompletion(netsub::RdmaCompletion* out) {
   if (host_completions_.empty()) return false;
+  DPDPU_SIM_ACCESS(race_tag_, "OffloadedRdmaEndpoint", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   *out = host_completions_.front();
   host_completions_.pop_front();
   server_->host_cpu().Execute(cal::kHostRingPollCycles,

@@ -102,12 +102,20 @@ class OffloadedRdmaEndpoint final : public RdmaEndpoint {
   /// Host ring submit + DPU DMA-poll + DPU issue, then `post` on the QP.
   void SubmitThroughRing(UniqueFunction post);
   void DrainDeviceCompletions();
+  /// Single producer-side door into host_completions_ — every stage
+  /// (device-post failure, DMA'ed-back completion) lands here so the
+  /// ring's race annotation lives in exactly one place.
+  void PushCompletion(netsub::RdmaCompletion c);
 
   hw::Server* server_;
   netsub::QueuePair* qp_;
   /// Host-visible completion ring (entries already DMA'ed back).
   std::deque<netsub::RdmaCompletion> host_completions_;
   std::function<void()> notify_;
+  /// Pushes arrive from independent DMA events, pops from the host poll
+  /// loop; wr_ids make entries order-free for consumers, so the deque
+  /// motion commutes.
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::ne

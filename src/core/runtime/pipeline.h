@@ -16,6 +16,7 @@
 
 #include "common/buffer.h"
 #include "common/result.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::rt {
 
@@ -38,6 +39,10 @@ class Pipeline {
 
   /// Injects an item at stage 0.
   void Push(Buffer item) {
+    // Item counters commute: same-tick pushes/completions from different
+    // stages' done-callbacks only permute increment order.
+    DPDPU_SIM_ACCESS(race_tag_, "rt::Pipeline", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
     ++in_flight_;
     Advance(std::move(item), 0);
   }
@@ -48,6 +53,8 @@ class Pipeline {
 
  private:
   void Advance(Buffer item, size_t stage) {
+    DPDPU_SIM_ACCESS(race_tag_, "rt::Pipeline", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
     if (stage == stages_.size()) {
       --in_flight_;
       ++completed_;
@@ -57,6 +64,8 @@ class Pipeline {
     stages_[stage](std::move(item),
                    [this, stage](Result<Buffer> out) {
                      if (!out.ok()) {
+                       DPDPU_SIM_ACCESS(race_tag_, "rt::Pipeline", /*key=*/0,
+                                        sim::AccessKind::kCommutativeWrite);
                        --in_flight_;
                        ++failed_;
                        if (on_output_) on_output_(std::move(out));
@@ -71,6 +80,9 @@ class Pipeline {
   uint64_t in_flight_ = 0;
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
+  /// Stage done-callbacks fire from arbitrary engine events; the item
+  /// counters they bump are order-insensitive.
+  sim::RaceTag race_tag_;
 };
 
 /// Barrier pipeline: stage N+1 starts only after stage N finished for

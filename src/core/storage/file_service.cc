@@ -102,6 +102,10 @@ void FileService::InvalidateRange(fssub::FileId file, uint64_t offset,
 
 void FileService::ReadAsync(fssub::FileId file, uint64_t offset,
                             uint32_t length, ReadCallback cb) {
+  // Request counters: bumped in the caller's event (before the
+  // reactor hop), so two same-tick clients collide — commutative.
+  DPDPU_SIM_ACCESS(race_tag_, "FileService", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   ++stats_.reads;
   // SPDK-style request processing on a DPU core.
   server_->dpu_cpu().Execute(
@@ -110,6 +114,8 @@ void FileService::ReadAsync(fssub::FileId file, uint64_t offset,
         reactor_.Step();
         Buffer cached;
         if (length > 0 && TryServeFromCache(file, offset, length, &cached)) {
+          DPDPU_SIM_ACCESS(race_tag_, "FileService", /*key=*/0,
+                           sim::AccessKind::kCommutativeWrite);
           ++stats_.cache_hit_reads;
           cb(std::move(cached));
           return;
@@ -160,6 +166,8 @@ void FileService::ReadAsync(fssub::FileId file, uint64_t offset,
 void FileService::WriteAsync(fssub::FileId file, uint64_t offset,
                              Buffer data, PersistMode mode,
                              WriteCallback cb) {
+  DPDPU_SIM_ACCESS(race_tag_, "FileService", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   ++stats_.writes;
   server_->dpu_cpu().Execute(
       cal::kSpdkCyclesPerIo,
@@ -170,6 +178,8 @@ void FileService::WriteAsync(fssub::FileId file, uint64_t offset,
         size_t bytes = data.size();
         hw::SsdDevice* log = server_->dpu_log_device();
         if (mode == PersistMode::kDpuLogAck && log != nullptr) {
+          DPDPU_SIM_ACCESS(race_tag_, "FileService", /*key=*/0,
+                           sim::AccessKind::kCommutativeWrite);
           ++stats_.log_acked_writes;
           // Durable on the DPU log -> acknowledge immediately; the SSD
           // write and file-system update drain in the background.

@@ -91,6 +91,7 @@ class FileService {
   /// Each such event steps this chain so same-timestamp cache accesses
   /// are reactor-ordered, not racing (see DESIGN.md §7).
   sim::HbChain reactor_;
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::se

@@ -4,6 +4,8 @@
 namespace dpdpu::se {
 
 void OffloadEngine::Execute(RemoteRequest request, ReplyFn reply) {
+  DPDPU_SIM_ACCESS(race_tag_, "OffloadEngine", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   ++executed_;
   // UDF parse/translate on a DPU core (Section 7: "users supply a UDF
   // that parses network messages ... and translates them into file

@@ -521,6 +521,8 @@ RemoteStorageClient::~RemoteStorageClient() {
 }
 
 void RemoteStorageClient::FailAllPending() {
+  DPDPU_SIM_ACCESS(race_tag_, "RemoteStorageClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   auto pending = std::move(pending_);
   pending_.clear();
   // Tag order (std::map) keeps the failure dispatch deterministic. The
@@ -545,6 +547,8 @@ void RemoteStorageClient::SendRequest(RemoteRequest request) {
     // simlint:allow(R6): alive-token-guarded, parent-edge-ordered defer
     sim_->Schedule(0, [this, alive = alive_, tag] {
       if (!*alive) return;
+      DPDPU_SIM_ACCESS(race_tag_, "RemoteStorageClient", /*key=*/0,
+                       sim::AccessKind::kCommutativeWrite);
       auto it = pending_.find(tag);
       if (it == pending_.end()) return;
       auto cb = std::move(it->second);
@@ -567,6 +571,10 @@ void RemoteStorageClient::Read(fssub::FileId file, uint64_t offset,
                                uint32_t length,
                                std::function<void(Result<Buffer>)> cb,
                                uint8_t flags) {
+  // Issue and completion both touch next_tag_/pending_ (see the tag's
+  // header comment); distinct-tag table motion commutes.
+  DPDPU_SIM_ACCESS(race_tag_, "RemoteStorageClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   RemoteRequest request;
   request.tag = next_tag_++;
   request.op = RemoteOp::kRead;
@@ -588,6 +596,8 @@ void RemoteStorageClient::Write(fssub::FileId file, uint64_t offset,
                                 Buffer data,
                                 std::function<void(Status)> cb,
                                 uint8_t flags) {
+  DPDPU_SIM_ACCESS(race_tag_, "RemoteStorageClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   RemoteRequest request;
   request.tag = next_tag_++;
   request.op = RemoteOp::kWrite;
@@ -604,6 +614,8 @@ void RemoteStorageClient::Write(fssub::FileId file, uint64_t offset,
 void RemoteStorageClient::ReadVersioned(
     fssub::FileId file, uint64_t offset, uint32_t length,
     std::function<void(Result<Buffer>, uint64_t)> cb, uint8_t flags) {
+  DPDPU_SIM_ACCESS(race_tag_, "RemoteStorageClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   RemoteRequest request;
   request.tag = next_tag_++;
   request.op = RemoteOp::kRead;
@@ -625,6 +637,8 @@ void RemoteStorageClient::WriteVersioned(fssub::FileId file, uint64_t offset,
                                          uint64_t version, Buffer data,
                                          std::function<void(Status)> cb,
                                          uint8_t flags) {
+  DPDPU_SIM_ACCESS(race_tag_, "RemoteStorageClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   RemoteRequest request;
   request.tag = next_tag_++;
   request.op = RemoteOp::kWrite;
@@ -641,6 +655,8 @@ void RemoteStorageClient::WriteVersioned(fssub::FileId file, uint64_t offset,
 }
 
 void RemoteStorageClient::OnResponse(ByteSpan data) {
+  DPDPU_SIM_ACCESS(race_tag_, "RemoteStorageClient", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   auto alive = alive_;
   rx_pending_.Append(data);
   size_t consumed = 0;

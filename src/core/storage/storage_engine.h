@@ -191,6 +191,9 @@ class OffloadEngine {
   Udf udf_;
   PersistMode persist_mode_ = PersistMode::kWriteThrough;
   uint64_t executed_ = 0;
+  /// Execute() fires from per-connection receive events; the request
+  /// counter commutes across same-timestamp arrivals.
+  sim::RaceTag race_tag_;
 };
 
 // ---------------------------------------------------------------------------
@@ -353,6 +356,11 @@ class RemoteStorageClient {
   /// this client from within them).
   std::shared_ptr<bool> alive_;
   std::map<uint64_t, std::function<void(RemoteResponse)>> pending_;
+  /// Tag issue (caller events) and completion (socket receive events)
+  /// both touch next_tag_/pending_; tags key the table so insert/erase
+  /// of distinct requests commute, and a tag's erase is HB-after its
+  /// insert via the RPC round trip.
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::se

@@ -206,6 +206,8 @@ Result<Buffer> DpuFs::ReadCheckpointRegion() {
 }
 
 Status DpuFs::Checkpoint() {
+  DPDPU_SIM_ACCESS(race_tag_, "DpuFs", /*key=*/0,
+                   sim::AccessKind::kWrite);
   Buffer metadata = SerializeMetadata();
   // Crash-safe ordering: write the inactive slot, then atomically flip
   // the superblock, then reset the journal.
@@ -276,6 +278,8 @@ Result<std::unique_ptr<DpuFs>> DpuFs::Mount(BlockDevice* device) {
 // ---------------------------------------------------------------------------
 
 Status DpuFs::AppendJournal(ByteSpan payload) {
+  DPDPU_SIM_ACCESS(race_tag_, "DpuFs", /*key=*/0,
+                   sim::AccessKind::kWrite);
   Status s = journal_->Append(next_seq_, payload);
   if (s.IsResourceExhausted()) {
     // Journal full: fold it into a checkpoint and retry once.

@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "fssub/block_device.h"
 #include "fssub/journal.h"
+#include "sim/simrace.h"
 
 namespace dpdpu::fssub {
 
@@ -138,6 +139,12 @@ class DpuFs {
   std::vector<Inode> inodes_;
   std::map<std::string, FileId> directory_;
   DpuFsStats stats_;
+  /// Journal/checkpoint sequencing is a plain write: append order IS
+  /// the recovery replay order. In the running system every mutation
+  /// arrives through the server's single SPDK reactor (FileService's
+  /// HbChain), which orders same-timestamp appends; the annotation
+  /// makes any future bypass of that path visible to simrace.
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::fssub

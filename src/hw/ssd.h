@@ -9,6 +9,7 @@
 
 #include "common/function.h"
 #include "sim/resource.h"
+#include "sim/simrace.h"
 #include "sim/simulator.h"
 
 namespace dpdpu::hw {
@@ -35,11 +36,17 @@ class SsdDevice {
   }
 
   void SubmitRead(uint64_t bytes, UniqueFunction done) {
+    // Op counters commute; queue-order fairness under same-tick submits
+    // is the Resource's concern (its grants carry the HB edges).
+    DPDPU_SIM_ACCESS(race_tag_, "SsdDevice", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
     ++reads_;
     channels_.Submit(OpTime(false, bytes), std::move(done));
   }
 
   void SubmitWrite(uint64_t bytes, UniqueFunction done) {
+    DPDPU_SIM_ACCESS(race_tag_, "SsdDevice", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
     ++writes_;
     channels_.Submit(OpTime(true, bytes), std::move(done));
   }
@@ -56,6 +63,7 @@ class SsdDevice {
   sim::Resource channels_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  sim::RaceTag race_tag_;
 };
 
 }  // namespace dpdpu::hw

@@ -200,6 +200,14 @@ void TcpConnection::Abort() {
 }
 
 void TcpConnection::OnRtoFire(uint64_t generation) {
+  // The RTO timer is the fourth entry point into the connection state
+  // machine (with Send/Close/OnSegment); simscope flagged it as the one
+  // unannotated path. Commutative like the others: a timeout firing
+  // beside a same-timestamp segment arrival resolves either way to a
+  // protocol-equivalent stream (the generation guard voids stale fires,
+  // and go-back-N re-sends are idempotent).
+  DPDPU_SIM_ACCESS(race_tag_, "TcpConnection", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   if (generation != rto_generation_ || state_ == State::kClosed) return;
   rto_armed_ = false;
   bool outstanding = snd_nxt_ > snd_una_ || state_ == State::kSynSent ||

@@ -78,7 +78,13 @@ class TcpConnection {
 
   /// Flow-control co-design hook: the embedding layer (NE) shrinks the
   /// advertised window when the host-side ring backs up.
-  void SetReceiveWindow(uint32_t bytes) { rwnd_advertised_ = bytes; }
+  void SetReceiveWindow(uint32_t bytes) {
+    // Commutative: shrink/restore are hysteresis transitions; same-tick
+    // order only shifts which window value rides the next ACK out.
+    DPDPU_SIM_ACCESS(race_tag_, "TcpConnection", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
+    rwnd_advertised_ = bytes;
+  }
 
   bool established() const { return state_ == State::kEstablished; }
   bool closed() const { return state_ == State::kClosed; }

@@ -121,6 +121,8 @@ Status QueuePair::PostSend(uint64_t wr_id, ByteSpan data) {
 
 Status QueuePair::PostRecv(uint64_t wr_id, MrKey local, size_t loff,
                            size_t capacity) {
+  DPDPU_SIM_ACCESS(race_tag_, "QueuePair", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   DPDPU_ASSIGN_OR_RETURN(MutableByteSpan mem, nic_->Memory(local));
   if (loff + capacity > mem.size()) {
     return Status::OutOfRange("qp: recv span out of region");
@@ -172,6 +174,8 @@ void RdmaNic::SendWire(NodeId dst, Buffer payload) {
 void RdmaNic::HandleWrite(uint32_t dst_qp, uint64_t wr_id, uint32_t rkey,
                           uint64_t roff, ByteSpan data, NodeId src,
                           uint32_t src_qp) {
+  DPDPU_SIM_ACCESS(race_tag_, "RdmaNic", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   WireHeader ack{};
   ack.src_qp = dst_qp;
   ack.dst_qp = src_qp;
@@ -196,6 +200,8 @@ void RdmaNic::HandleRead(uint32_t dst_qp, uint64_t wr_id, uint32_t rkey,
                          uint64_t roff, uint32_t len, NodeId src,
                          uint32_t src_qp, uint64_t dest_loff,
                          uint32_t dest_lkey) {
+  DPDPU_SIM_ACCESS(race_tag_, "RdmaNic", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   WireHeader resp{};
   resp.src_qp = dst_qp;
   resp.dst_qp = src_qp;
@@ -221,6 +227,8 @@ void RdmaNic::HandleRead(uint32_t dst_qp, uint64_t wr_id, uint32_t rkey,
 
 void RdmaNic::HandleSend(uint32_t dst_qp, uint64_t wr_id, ByteSpan data,
                          NodeId src, uint32_t src_qp) {
+  DPDPU_SIM_ACCESS(race_tag_, "RdmaNic", /*key=*/0,
+                   sim::AccessKind::kCommutativeWrite);
   auto qp_it = qps_.find(dst_qp);
   if (qp_it == qps_.end()) return;
   QueuePair* qp = qp_it->second.get();

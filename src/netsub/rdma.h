@@ -45,6 +45,8 @@ class CompletionQueue {
  public:
   bool Poll(RdmaCompletion* out) {
     if (entries_.empty()) return false;
+    DPDPU_SIM_ACCESS(race_tag_, "netsub::CompletionQueue", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
     *out = entries_.front();
     entries_.pop_front();
     return true;
@@ -56,6 +58,8 @@ class CompletionQueue {
   void SetNotify(std::function<void()> notify) { notify_ = std::move(notify); }
 
   void Push(RdmaCompletion c) {
+    DPDPU_SIM_ACCESS(race_tag_, "netsub::CompletionQueue", /*key=*/0,
+                     sim::AccessKind::kCommutativeWrite);
     entries_.push_back(c);
     if (notify_) notify_();
   }
@@ -63,6 +67,10 @@ class CompletionQueue {
  private:
   std::deque<RdmaCompletion> entries_;
   std::function<void()> notify_;
+  /// Pushes arrive from independent wire events, polls from the
+  /// consumer's drain; completions carry wr_ids, so queue order is
+  /// protocol-irrelevant and the motion commutes.
+  sim::RaceTag race_tag_;
 };
 
 class RdmaNic;
@@ -115,6 +123,10 @@ class QueuePair {
     Buffer data;
   };
   std::deque<UnmatchedSend> unmatched_sends_;  // arrived before PostRecv
+  /// Recv postings race send arrivals by design: a send that beats its
+  /// recv parks in unmatched_sends_ and matches on the next PostRecv,
+  /// so both orders converge — commutative.
+  sim::RaceTag race_tag_;
 };
 
 /// Per-node RDMA-capable NIC with registered memory.
@@ -165,6 +177,10 @@ class RdmaNic {
   std::map<uint32_t, std::unique_ptr<QueuePair>> qps_;
   uint32_t next_qp_id_ = 1;
   uint64_t remote_ops_ = 0;
+  /// Remote-op handlers (HandleWrite/HandleRead/HandleSend) fire from
+  /// independent wire deliveries; remote_ops_ accounting and per-QP
+  /// match-queue motion commute across same-timestamp arrivals.
+  sim::RaceTag race_tag_;
 };
 
 /// Wires two queue pairs into a reliable connection (out-of-band exchange

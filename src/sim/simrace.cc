@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -253,8 +254,28 @@ void RaceChecker::PrintNewReports() {
   }
 }
 
+std::vector<std::string> RaceChecker::observed_objects() const {
+  std::vector<std::string> names = object_names_;  // one entry per tag
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
 void RaceChecker::Finalize() {
   if (bucket_valid_) FlushBucket();
+  if (!finalized_) {
+    // Append so one xcheck run can accumulate coverage across every
+    // simulator (and every process) a test binary creates.
+    const char* cov = std::getenv("DPDPU_SIM_RACE_COVERAGE");  // NOLINT(concurrency-mt-unsafe)
+    if (cov != nullptr && cov[0] != '\0') {
+      if (std::FILE* f = std::fopen(cov, "ae")) {
+        for (const std::string& name : observed_objects()) {
+          std::fprintf(f, "%s\n", name.c_str());
+        }
+        std::fclose(f);
+      }
+    }
+  }
   if (!options_.quiet) {
     PrintNewReports();
     if (race_count_ > races_.size()) {

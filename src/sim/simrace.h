@@ -161,6 +161,11 @@ class RaceChecker {
   uint64_t race_count() const { return race_count_; }
   const std::vector<RaceReport>& races() const { return races_; }
   uint64_t accesses_recorded() const { return accesses_recorded_; }
+  /// Distinct object names that recorded at least one access, sorted.
+  /// simscope --xcheck diffs these against statically reachable
+  /// annotations; Finalize() appends them to the file named by
+  /// DPDPU_SIM_RACE_COVERAGE when that variable is set.
+  std::vector<std::string> observed_objects() const;
   std::string FormatReport(const RaceReport& report) const;
 
  private:

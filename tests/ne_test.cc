@@ -139,6 +139,35 @@ TEST(FlowTest, RecordsRoundTripWithBatching) {
   EXPECT_EQ(reader->records_received(), 500u);
 }
 
+// Pushes from scheduled events — the only context where concurrent
+// pushes are possible at all, and the context simscope --xcheck needs
+// to see FlowWriter's race annotation fire dynamically.
+TEST(FlowTest, EventDrivenPushesRoundTrip) {
+  TwoServers env;
+  std::vector<std::string> got;
+  std::unique_ptr<FlowReader> reader;
+  env.b->Listen(80, [&](NeSocket* s) {
+    reader = std::make_unique<FlowReader>(
+        s, [&](ByteSpan record) {
+          got.emplace_back(reinterpret_cast<const char*>(record.data()),
+                           record.size());
+        });
+  });
+  NeSocket* client = env.a->Connect(2, 80);
+  FlowWriter writer(client, /*batch_bytes=*/256);
+  for (int i = 0; i < 8; ++i) {
+    // Two pushes per timestamp: commutative batching, any order.
+    env.sim.Schedule(1000 * (i / 2), [&writer, i] {
+      std::string rec = "evt-record-" + std::to_string(i);
+      writer.Push(Buffer(rec).span());
+    });
+  }
+  env.sim.Schedule(10000, [&writer] { writer.Flush(); });
+  env.sim.Run();
+  EXPECT_EQ(got.size(), 8u);
+  EXPECT_EQ(writer.records_pushed(), 8u);
+}
+
 TEST(FlowTest, LargeRecordsSpanBatches) {
   TwoServers env;
   std::vector<size_t> got_sizes;

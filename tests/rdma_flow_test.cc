@@ -71,6 +71,35 @@ TEST_P(RdmaFlowPathTest, RecordsRoundTrip) {
   EXPECT_EQ(reader.batches_received(), writer.batches_sent());
 }
 
+// Pushes from scheduled events — the context where concurrent pushes
+// can happen, and what simscope --xcheck needs to observe the writer's
+// race annotation dynamically.
+TEST_P(RdmaFlowPathTest, EventDrivenPushesRoundTrip) {
+  FlowEnv env(GetParam());
+  std::vector<std::string> got;
+  RdmaFlowReader reader(env.reader_ep.get(), &env.b->rdma_nic(),
+                        /*slots=*/16, /*slot_bytes=*/128 * 1024,
+                        [&](ByteSpan r) {
+                          got.emplace_back(
+                              reinterpret_cast<const char*>(r.data()),
+                              r.size());
+                        });
+  env.sim.Run();  // allow recv posting to land
+
+  RdmaFlowWriter writer(env.writer_ep.get(), /*batch_bytes=*/256);
+  for (int i = 0; i < 8; ++i) {
+    // Two pushes per timestamp: commutative batching, any order.
+    env.sim.Schedule(1000 * (i / 2), [&writer, i] {
+      std::string rec = "evt-" + std::to_string(i);
+      EXPECT_TRUE(writer.Push(Buffer(rec).span()).ok());
+    });
+  }
+  env.sim.Schedule(10000, [&writer] { EXPECT_TRUE(writer.Flush().ok()); });
+  env.sim.Run();
+  EXPECT_EQ(got.size(), 8u);
+  EXPECT_EQ(writer.records_pushed(), 8u);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothPaths, RdmaFlowPathTest,
                          ::testing::Values(RdmaPath::kNative,
                                            RdmaPath::kDpuOffloaded));

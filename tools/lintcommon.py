@@ -1,0 +1,241 @@
+"""lintcommon — shared infrastructure for DPDPU's source analyzers.
+
+simlint (rule-pattern linting) and simscope (annotation-coverage
+analysis) share the same front matter: a C++-aware comment/string
+stripper that preserves line structure, brace matching for structural
+parsing, and — most importantly — one suppression *policy*:
+
+  * inline, same or previous line:   // <tool>:allow(<rule>): <reason>
+  * file-level allowlist entries:    <path> <rule> <reason>
+
+Both forms require a non-empty reason, and both are checked for
+staleness: an inline allow that suppresses nothing, a file-level entry
+whose file left the tree, or an entry whose rule no longer fires in the
+scanned file are themselves violations. A waiver that rots into a
+blanket exemption is worse than no waiver, so the policy lives here,
+in one place, and every tool inherits it.
+"""
+
+import os
+import re
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Source preprocessing: blank out comments and string/char literals so
+# analysis regexes never match prose or quoted text. Line structure is
+# preserved (every stripped character becomes a space; newlines survive).
+# ---------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = STRING
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # STRING or CHAR
+            quote = '"' if state == STRING else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = NORMAL
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def match_brace(text, open_idx):
+    """Index just past the brace matching text[open_idx] ('{'), or len."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# ---------------------------------------------------------------------------
+# Inline suppressions.
+# ---------------------------------------------------------------------------
+
+def inline_allow_pattern(tool, rule_pattern):
+    """The `// <tool>:allow(<rule>): <reason>` trailer for one tool."""
+    return re.compile(
+        rf"{re.escape(tool)}:\s*allow\(({rule_pattern})\)"
+        r"\s*(?::\s*(.*?))?\s*$")
+
+
+def inline_suppressions(original_text, path, errors, tool, rule_pattern):
+    """Maps rule -> {covered line: line of the allow comment itself}.
+
+    A suppression covers its own line and the next one, so it can sit
+    above the flagged statement or trail it. Allows without a reason are
+    appended to `errors` as violations instead of taking effect.
+    """
+    pattern = inline_allow_pattern(tool, rule_pattern)
+    allowed = {}
+    for lineno, line in enumerate(original_text.splitlines(), start=1):
+        m = pattern.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2)
+        if not reason:
+            errors.append(Violation(
+                path, lineno, rule,
+                f"{tool}:allow without a reason (write "
+                f"`// {tool}:allow({rule}): why`)"))
+            continue
+        covered = allowed.setdefault(rule, {})
+        covered[lineno] = lineno
+        covered.setdefault(lineno + 1, lineno)
+    return allowed
+
+
+def stale_inline_allows(path, allowed_lines, used_inline):
+    """Violations for allow comments that suppressed nothing.
+
+    `used_inline` is the set of (rule, line of the allow comment) pairs
+    that suppressed at least one finding. An allow that suppresses
+    nothing is a waiver rotting in place — either the code was fixed
+    (delete the comment) or the comment is on the wrong line (move it).
+    """
+    stale = []
+    for rule, covered in sorted(allowed_lines.items()):
+        for comment_line in sorted(set(covered.values())):
+            if (rule, comment_line) not in used_inline:
+                stale.append(Violation(
+                    path, comment_line, rule,
+                    f"stale inline allow({rule}): it suppresses nothing "
+                    "on this or the next line; remove it"))
+    return stale
+
+
+# ---------------------------------------------------------------------------
+# File-level allowlists.
+# ---------------------------------------------------------------------------
+
+def load_allowlist(path, validate_rule):
+    """Returns {(relpath, rule): reason}; raises SystemExit on bad lines.
+
+    Entries are `<path> <rule> <reason>`; `validate_rule(rule)` returns
+    an error string for an unknown rule, or None to accept it.
+    """
+    entries = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path) as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise SystemExit(
+                    f"{path}:{lineno}: allowlist entries are "
+                    f"`<path> <rule> <reason>`; got: {line!r}")
+            entry_path, rule, reason = parts
+            problem = validate_rule(rule)
+            if problem:
+                raise SystemExit(f"{path}:{lineno}: {problem}")
+            entries[(entry_path, rule)] = reason
+    return entries
+
+
+def stale_allowlist_entries(allowlist, suppressing_keys, scanned,
+                            repo_root, allowlist_path):
+    """Violations for allowlist entries that no longer suppress anything.
+
+    An entry is stale when its file left the tree, or when the file was
+    scanned and the waived rule no longer fires in it. A file that
+    exists but sits outside this run's roots (subtree scan) is not
+    judged — only the full-tree run can prove an entry useless.
+    """
+    stale = []
+    for key in sorted(set(allowlist) - set(suppressing_keys)):
+        entry_path, rule = key
+        if not os.path.exists(os.path.join(repo_root, entry_path)):
+            stale.append(Violation(
+                allowlist_path, 1, rule,
+                f"stale allowlist entry for {entry_path} (file no longer "
+                "exists); remove it"))
+        elif entry_path in scanned:
+            stale.append(Violation(
+                allowlist_path, 1, rule,
+                f"stale allowlist entry for {entry_path} ({rule} no "
+                "longer fires there); remove it"))
+    return stale
+
+
+# ---------------------------------------------------------------------------
+# Tree walking.
+# ---------------------------------------------------------------------------
+
+CXX_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
+
+
+def collect_files(repo_root, roots, suffixes=CXX_SUFFIXES):
+    files = []
+    for root in roots:
+        base = os.path.join(repo_root, root)
+        if os.path.isfile(base):
+            files.append(base)
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(suffixes):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)

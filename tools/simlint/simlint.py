@@ -68,6 +68,9 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+import lintcommon  # noqa: E402
+
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 DEFAULT_ROOTS = ("src", "bench", "examples")
@@ -85,15 +88,7 @@ RULES = {
 }
 
 
-class Violation:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+Violation = lintcommon.Violation
 
 
 # ---------------------------------------------------------------------------
@@ -102,132 +97,31 @@ class Violation:
 # (every stripped character becomes a space; newlines survive).
 # ---------------------------------------------------------------------------
 
-def strip_comments_and_strings(text):
-    out = []
-    i, n = 0, len(text)
-    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
-    state = NORMAL
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == NORMAL:
-            if c == "/" and nxt == "/":
-                state = LINE_COMMENT
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = BLOCK_COMMENT
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                state = STRING
-                out.append(" ")
-                i += 1
-            elif c == "'":
-                state = CHAR
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == LINE_COMMENT:
-            if c == "\n":
-                state = NORMAL
-                out.append("\n")
-            else:
-                out.append(" ")
-            i += 1
-        elif state == BLOCK_COMMENT:
-            if c == "*" and nxt == "/":
-                state = NORMAL
-                out.append("  ")
-                i += 2
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-        else:  # STRING or CHAR
-            quote = '"' if state == STRING else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == quote:
-                state = NORMAL
-                out.append(" ")
-                i += 1
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-    return "".join(out)
+strip_comments_and_strings = lintcommon.strip_comments_and_strings
 
 
 # ---------------------------------------------------------------------------
 # Suppressions.
 # ---------------------------------------------------------------------------
 
-INLINE_ALLOW = re.compile(
-    r"simlint:\s*allow\((R[1-7])\)\s*(?::\s*(.*?))?\s*$")
-
-
 def inline_suppressions(original_text, path, errors):
     """Maps rule -> {covered line: line of the allow comment itself}."""
-    allowed = {}
-    for lineno, line in enumerate(original_text.splitlines(), start=1):
-        m = INLINE_ALLOW.search(line)
-        if not m:
-            continue
-        rule, reason = m.group(1), m.group(2)
-        if not reason:
-            errors.append(Violation(
-                path, lineno, rule,
-                "simlint:allow without a reason (write "
-                "`// simlint:allow(%s): why`)" % rule))
-            continue
-        # A suppression covers its own line and the next one, so it can sit
-        # above the flagged statement or trail it.
-        covered = allowed.setdefault(rule, {})
-        covered[lineno] = lineno
-        covered.setdefault(lineno + 1, lineno)
-    return allowed
+    return lintcommon.inline_suppressions(
+        original_text, path, errors, "simlint", "R[1-7]")
 
 
 def load_allowlist(path):
     """Returns {(relpath, rule): reason}; raises on malformed lines."""
-    entries = {}
-    if not os.path.exists(path):
-        return entries
-    with open(path) as f:
-        for lineno, raw in enumerate(f, start=1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split(None, 2)
-            if len(parts) < 3:
-                raise SystemExit(
-                    f"{path}:{lineno}: allowlist entries are "
-                    f"`<path> <rule> <reason>`; got: {line!r}")
-            entry_path, rule, reason = parts
-            if rule not in RULES:
-                raise SystemExit(
-                    f"{path}:{lineno}: unknown rule {rule!r}")
-            entries[(entry_path, rule)] = reason
-    return entries
+    return lintcommon.load_allowlist(
+        path, lambda rule: None if rule in RULES
+        else f"unknown rule {rule!r}")
 
 
 # ---------------------------------------------------------------------------
 # Light structural parsing: function bodies and struct bodies.
 # ---------------------------------------------------------------------------
 
-def match_brace(text, open_idx):
-    """Index just past the brace matching text[open_idx] ('{'), or len."""
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
+match_brace = lintcommon.match_brace
 
 
 FUNC_OPEN = re.compile(r"\)[\s\w:&<>,*\[\]]*?\{")
@@ -602,31 +496,12 @@ def lint_text(path, text, file_allow=None, errors=None,
                 used_file_rules.add(v.rule)
             continue
         survivors.append(v)
-    # An allow that suppresses nothing is a waiver rotting in place —
-    # either the code was fixed (delete the comment) or the comment is on
-    # the wrong line (move it).
-    for rule, covered in sorted(allowed_lines.items()):
-        for comment_line in sorted(set(covered.values())):
-            if (rule, comment_line) not in used_inline:
-                survivors.append(Violation(
-                    path, comment_line, rule,
-                    f"stale inline simlint:allow({rule}): it suppresses "
-                    "nothing on this or the next line; remove it"))
+    survivors.extend(
+        lintcommon.stale_inline_allows(path, allowed_lines, used_inline))
     return survivors + errors
 
 
-def collect_files(repo_root, roots):
-    files = []
-    for root in roots:
-        base = os.path.join(repo_root, root)
-        if os.path.isfile(base):
-            files.append(base)
-            continue
-        for dirpath, _, names in os.walk(base):
-            for name in sorted(names):
-                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
-                    files.append(os.path.join(dirpath, name))
-    return sorted(files)
+collect_files = lintcommon.collect_files
 
 
 def main(argv=None):
@@ -668,23 +543,9 @@ def main(argv=None):
             lint_text(rel, text, file_allow, used_file_rules=used_rules))
         suppressing_keys.update((rel, rule) for rule in used_rules)
 
-    # Stale allowlist entries rot into blanket waivers; reject them. An
-    # entry is stale when its file left the tree, or when the file was
-    # scanned and the waived rule no longer fires in it. A file that
-    # exists but sits outside this run's roots (subtree lint) is not
-    # judged — only the full-tree run can prove an entry useless.
-    for key in sorted(set(allowlist) - suppressing_keys):
-        entry_path, rule = key
-        if not os.path.exists(os.path.join(args.repo_root, entry_path)):
-            violations.append(Violation(
-                allowlist_path, 1, rule,
-                f"stale allowlist entry for {entry_path} (file no longer "
-                "exists); remove it"))
-        elif entry_path in scanned:
-            violations.append(Violation(
-                allowlist_path, 1, rule,
-                f"stale allowlist entry for {entry_path} ({rule} no "
-                "longer fires there); remove it"))
+    violations.extend(lintcommon.stale_allowlist_entries(
+        allowlist, suppressing_keys, scanned, args.repo_root,
+        allowlist_path))
 
     for v in violations:
         print(v)
